@@ -1,0 +1,124 @@
+//! Criterion microbenchmarks for the hot substrate paths: the vEB position
+//! map, the regression fits, the pager, the codec, and the device service
+//! computations. These measure *host* CPU time of the simulator itself (the
+//! simulated-time experiments live in the `src/bin` regenerators).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use refined_dam::cache::Pager;
+use refined_dam::kv::codec::{Reader, Writer};
+use refined_dam::kv::msg::{Message, Operation};
+use refined_dam::stats::{fit_flat_then_linear, fit_line};
+use refined_dam::storage::profiles;
+use refined_dam::storage::{BlockDevice, HddDevice, RamDisk, SharedDevice, SimDuration, SimTime, SsdDevice};
+use refined_dam::veb::layout::veb_position;
+
+fn bench_veb_position(c: &mut Criterion) {
+    c.bench_function("veb_position/h=20", |b| {
+        let mut bfs = 1u64;
+        b.iter(|| {
+            bfs = (bfs * 2 + 1) % ((1 << 20) - 1);
+            black_box(veb_position(20, bfs))
+        })
+    });
+}
+
+fn bench_fits(c: &mut Criterion) {
+    let xs: Vec<f64> = (1..=64).map(|i| i as f64).collect();
+    let ys: Vec<f64> = xs.iter().map(|&x| 10f64.max(10.0 * x / 3.3) + (x * 17.0).sin()).collect();
+    c.bench_function("fit_line/64pts", |b| {
+        b.iter(|| black_box(fit_line(&xs, &ys).unwrap()))
+    });
+    c.bench_function("fit_flat_then_linear/64pts", |b| {
+        b.iter(|| black_box(fit_flat_then_linear(&xs, &ys).unwrap()))
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let msgs: Vec<Message> = (0..100)
+        .map(|i| Message {
+            seq: i,
+            key: refined_dam::kv::key_from_u64(i).to_vec(),
+            op: Operation::Put(vec![i as u8; 100]),
+        })
+        .collect();
+    c.bench_function("codec/encode_100_messages", |b| {
+        b.iter(|| {
+            let mut w = Writer::with_capacity(16 << 10);
+            for m in &msgs {
+                m.encode(&mut w);
+            }
+            black_box(w.into_bytes())
+        })
+    });
+    let mut w = Writer::new();
+    for m in &msgs {
+        m.encode(&mut w);
+    }
+    let buf = w.into_bytes();
+    c.bench_function("codec/decode_100_messages", |b| {
+        b.iter(|| {
+            let mut r = Reader::new(&buf);
+            for _ in 0..100 {
+                black_box(Message::decode(&mut r).unwrap());
+            }
+        })
+    });
+}
+
+fn bench_pager(c: &mut Criterion) {
+    c.bench_function("pager/hit_read_4k", |b| {
+        let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 24, SimDuration(1000))));
+        let mut pager = Pager::new(dev, 1 << 20, 0);
+        let off = pager.alloc(4096).unwrap();
+        pager.write(off, vec![1u8; 4096]).unwrap();
+        b.iter(|| black_box(pager.read(off, 4096).unwrap()))
+    });
+    c.bench_function("pager/miss_read_4k", |b| {
+        let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 24, SimDuration(1000))));
+        let mut pager = Pager::new(dev, 1 << 20, 0);
+        let off = pager.alloc(4096).unwrap();
+        pager.write(off, vec![1u8; 4096]).unwrap();
+        pager.flush().unwrap();
+        b.iter(|| {
+            pager.discard(off);
+            black_box(pager.read(off, 4096).unwrap())
+        })
+    });
+}
+
+fn bench_device_service(c: &mut Criterion) {
+    c.bench_function("hdd/random_4k_read", |b| {
+        let mut dev = HddDevice::new(profiles::toshiba_dt01aca050(), 1);
+        let mut buf = vec![0u8; 4096];
+        let mut now = SimTime::ZERO;
+        let mut off = 0u64;
+        b.iter(|| {
+            off = (off + 1_000_003 * 4096) % (dev.capacity_bytes() - 4096);
+            let c = dev.read(off, &mut buf, now).unwrap();
+            now = c.complete;
+            black_box(c)
+        })
+    });
+    c.bench_function("ssd/random_64k_read", |b| {
+        let mut dev = SsdDevice::new(profiles::samsung_860_pro());
+        let mut buf = vec![0u8; 64 * 1024];
+        let mut now = SimTime::ZERO;
+        let mut off = 0u64;
+        b.iter(|| {
+            off = (off + 999_983 * 65536) % (dev.capacity_bytes() - 65536);
+            let c = dev.read(off, &mut buf, now).unwrap();
+            now = c.complete;
+            black_box(c)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_veb_position,
+    bench_fits,
+    bench_codec,
+    bench_pager,
+    bench_device_service
+);
+criterion_main!(benches);

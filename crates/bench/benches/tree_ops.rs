@@ -1,0 +1,115 @@
+//! Criterion benchmarks of dictionary operations on each tree, over a RAM
+//! disk (so host CPU cost of the tree logic is what's measured) and over
+//! the simulated HDD (so the full simulation path is exercised).
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use refined_dam::prelude::*;
+use refined_dam::storage::profiles;
+
+const N: u64 = 20_000;
+
+fn pairs() -> Vec<(Vec<u8>, Vec<u8>)> {
+    (0..N).map(|i| (refined_dam::kv::key_from_u64(2 * i).to_vec(), vec![7u8; 100])).collect()
+}
+
+fn ramdisk() -> SharedDevice {
+    SharedDevice::new(Box::new(RamDisk::new(1 << 28, SimDuration(1000))))
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree");
+    g.bench_function("get/warm", |b| {
+        let mut tree = BTree::bulk_load(ramdisk(), BTreeConfig::new(16 << 10, 64 << 20), pairs()).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % N;
+            black_box(tree.get(&refined_dam::kv::key_from_u64(2 * i)).unwrap())
+        })
+    });
+    g.bench_function("insert", |b| {
+        let tree = BTree::bulk_load(ramdisk(), BTreeConfig::new(16 << 10, 64 << 20), pairs()).unwrap();
+        let mut i = 1u64;
+        b.iter_batched_ref(
+            || tree_clone_hack(&tree),
+            |t| {
+                i = (i + 2) % (4 * N);
+                t.insert(&refined_dam::kv::key_from_u64(i | 1), &[3u8; 100]).unwrap();
+            },
+            BatchSize::NumIterations(5_000),
+        )
+    });
+    g.finish();
+}
+
+// Trees own their pager/device and are not Clone; rebuild instead. The
+// rebuild cost is excluded by iter_batched_ref.
+fn tree_clone_hack(_t: &BTree) -> BTree {
+    BTree::bulk_load(ramdisk(), BTreeConfig::new(16 << 10, 64 << 20), pairs()).unwrap()
+}
+
+fn bench_betree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("betree");
+    g.bench_function("insert/standard", |b| {
+        let mut tree =
+            BeTree::bulk_load(ramdisk(), BeTreeConfig::sqrt_fanout(64 << 10, 116, 64 << 20), pairs())
+                .unwrap();
+        let mut i = 1u64;
+        b.iter(|| {
+            i = (i + 2) % (4 * N);
+            tree.insert(&refined_dam::kv::key_from_u64(i | 1), &[3u8; 100]).unwrap();
+        })
+    });
+    g.bench_function("get/standard", |b| {
+        let mut tree =
+            BeTree::bulk_load(ramdisk(), BeTreeConfig::sqrt_fanout(64 << 10, 116, 64 << 20), pairs())
+                .unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % N;
+            black_box(tree.get(&refined_dam::kv::key_from_u64(2 * i)).unwrap())
+        })
+    });
+    g.bench_function("insert/optimized", |b| {
+        let mut tree =
+            OptBeTree::bulk_load(ramdisk(), OptConfig::balanced(64 << 10, 116, 64 << 20), pairs())
+                .unwrap();
+        let mut i = 1u64;
+        b.iter(|| {
+            i = (i + 2) % (4 * N);
+            tree.insert(&refined_dam::kv::key_from_u64(i | 1), &[3u8; 100]).unwrap();
+        })
+    });
+    g.bench_function("get/optimized", |b| {
+        let mut tree =
+            OptBeTree::bulk_load(ramdisk(), OptConfig::balanced(64 << 10, 116, 64 << 20), pairs())
+                .unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % N;
+            black_box(tree.get(&refined_dam::kv::key_from_u64(2 * i)).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_full_sim_path(c: &mut Criterion) {
+    // Host cost of one fully-simulated cold query (device model + pager +
+    // decode) on the testbed HDD.
+    c.bench_function("full_sim/btree_cold_get", |b| {
+        let dev = SharedDevice::new(Box::new(HddDevice::new(profiles::toshiba_dt01aca050(), 2)));
+        let mut tree = BTree::bulk_load(dev, BTreeConfig::new(64 << 10, 1 << 20), pairs()).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % N;
+            tree.drop_cache().unwrap();
+            black_box(tree.get(&refined_dam::kv::key_from_u64(2 * i)).unwrap())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_btree, bench_betree, bench_full_sim_path
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Corollaries 6, 7, 11, 12: tuned node sizes and fanouts for every
+//! Table 2 disk.
+
+use dam_bench::experiments::corollary_optima;
+use dam_bench::table::{self, fmt_bytes};
+
+fn main() {
+    println!("Corollary optima — tuned parameters per disk (2e9 keys, 116 B entries)\n");
+    let rows = corollary_optima();
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.disk.clone(),
+                format!("{:.4}", r.alpha_per_4k),
+                fmt_bytes(r.half_bandwidth),
+                fmt_bytes(r.btree_point),
+                format!("{:.0}", r.betree_fanout),
+                fmt_bytes(r.betree_node),
+                format!("{:.1}x", r.insert_speedup),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        table::render(
+            &["Disk", "α/4K", "Cor 6: 1/α", "Cor 7: B-tree B", "Cor 12: F", "Cor 12: Bε B", "insert speedup"],
+            &data
+        )
+    );
+    println!("\nPaper: 'an optimized Bε-tree node size can be nearly the square of the optimal node size for a B-tree.'");
+}

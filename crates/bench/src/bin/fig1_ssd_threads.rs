@@ -1,0 +1,26 @@
+//! Figure 1: time to read a fixed volume per thread on each simulated SSD,
+//! for p = 1..64 closed-loop reader threads.
+
+use dam_bench::experiments::fig1_and_table1;
+use dam_bench::{table, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Figure 1 — closed-loop random 64 KiB reads, {} IOs per thread\n", scale.fig1_ios_per_client);
+    let rows = fig1_and_table1(&scale);
+    let threads: Vec<usize> = rows[0].series.iter().map(|&(p, _)| p).collect();
+    let mut headers: Vec<String> = vec!["Device".to_string()];
+    headers.extend(threads.iter().map(|p| format!("p={p}")));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.device.clone()];
+            row.extend(r.series.iter().map(|&(_, t)| format!("{t:.2}s")));
+            row
+        })
+        .collect();
+    print!("{}", table::render(&header_refs, &data));
+    println!("\nPDAM prediction: flat for p <= P, then linear in p.");
+    println!("Paper shape: 'relatively constant until around p = 2 or 4 ... increases linearly thereafter.'");
+}

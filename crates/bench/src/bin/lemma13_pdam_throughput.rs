@@ -1,0 +1,31 @@
+//! Lemma 13 / §8: query throughput of PDAM search-tree designs as the
+//! number of concurrent clients varies.
+
+use dam_bench::experiments::lemma13;
+use dam_bench::{table, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Lemma 13 — queries per time step, P = 8, PB nodes vs B nodes ({} steps)\n", scale.lemma13_steps);
+    let rows = lemma13(&scale);
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.clients),
+                format!("{:.4}", r.fat_veb),
+                format!("{:.4}", r.fat_sorted),
+                format!("{:.4}", r.small_nodes),
+                format!("{:.4}", r.predicted_veb),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        table::render(
+            &["k clients", "PB vEB", "PB sorted", "B nodes", "Lemma 13 pred"],
+            &data
+        )
+    );
+    println!("\nPaper: the vEB design 'gracefully adapts when the number of clients varies over time.'");
+}

@@ -1,0 +1,35 @@
+//! The §1 LevelDB puzzle: "LevelDB's LSM-tree uses 2MiB SSTables for all
+//! workloads" — why 2 MiB? Sweep SSTable sizes on the testbed HDD and
+//! watch the affine model's answer appear.
+
+use dam_bench::experiments::lsm_sstable_size;
+use dam_bench::table::{self, fmt_bytes};
+use dam_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "LSM SSTable-size sweep — testbed HDD, {} keys, {} cache\n",
+        scale.n_keys,
+        fmt_bytes(scale.cache_bytes as f64)
+    );
+    let rows = lsm_sstable_size(&scale);
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|p| {
+            vec![
+                fmt_bytes(p.sstable_bytes as f64),
+                format!("{:.2}", p.query_ms),
+                format!("{:.3}", p.insert_ms),
+                format!("{:.1}", p.write_amp),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        table::render(&["SSTable size", "Query ms/op", "Insert ms/op", "Write amp"], &data)
+    );
+    println!("\nInsert cost falls as tables pass the half-bandwidth point (sequential writes");
+    println!("amortize the setup cost); queries read one block per level regardless — which is");
+    println!("why a single large SSTable size serves 'all workloads'.");
+}

@@ -1,0 +1,25 @@
+//! Definition 3 / Lemma 3 / Theorem 4(4): measured vs predicted write
+//! amplification of random inserts.
+
+use dam_bench::experiments::write_amp;
+use dam_bench::table::{self, fmt_bytes};
+use dam_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Write amplification — random inserts, 256 KiB nodes, testbed HDD\n");
+    let rows = write_amp(&scale);
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.structure.clone(),
+                fmt_bytes(r.node_bytes as f64),
+                format!("{:.1}", r.measured),
+                format!("{:.1}", r.predicted),
+            ]
+        })
+        .collect();
+    print!("{}", table::render(&["Structure", "Node size", "WA (measured)", "WA (model)"], &data));
+    println!("\nLemma 3: B-tree WA is Θ(B); Theorem 4(4): Bε-tree WA is O(B^ε · log(N/M)).");
+}

@@ -1,0 +1,94 @@
+//! Experiment regenerators: one function per table/figure in the paper's
+//! evaluation, shared by the `src/bin/*` printers, the integration tests,
+//! and EXPERIMENTS.md.
+//!
+//! Every experiment runs on simulated devices with simulated time and a
+//! fixed seed, so results are bit-reproducible. Scale knobs live in
+//! [`Scale`]; the defaults keep every experiment laptop-sized while
+//! preserving the data-to-cache ratios that drive the paper's effects
+//! (see DESIGN.md §7).
+
+pub mod experiments;
+pub mod table;
+
+use serde::{Deserialize, Serialize};
+
+/// Experiment scale parameters (paper values ÷ scale factor).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scale {
+    /// Keys preloaded into the dictionaries (paper: ~140M for 16 GB).
+    pub n_keys: u64,
+    /// Value bytes per key (paper: ~100 B).
+    pub value_bytes: usize,
+    /// Buffer-pool bytes (paper: 4 GiB).
+    pub cache_bytes: u64,
+    /// Measured operations per phase (paper: N/1000).
+    pub ops: u64,
+    /// Closed-loop IOs per client in the Fig 1 sweep (paper: 163,840 =
+    /// 10 GiB at 64 KiB).
+    pub fig1_ios_per_client: u64,
+    /// Random reads per IO size in the Table 2 sweep (paper: 64).
+    pub table2_reads: u64,
+    /// Time steps for the Lemma 13 simulator.
+    pub lemma13_steps: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale {
+            n_keys: 400_000,
+            value_bytes: 100,
+            cache_bytes: 8 << 20,
+            ops: 400,
+            fig1_ios_per_client: 300,
+            table2_reads: 64,
+            lemma13_steps: 3_000,
+            seed: 0xDA4,
+        }
+    }
+}
+
+impl Scale {
+    /// A tiny scale for integration tests (seconds, not minutes).
+    pub fn smoke() -> Self {
+        Scale {
+            n_keys: 40_000,
+            value_bytes: 100,
+            cache_bytes: 1 << 20,
+            ops: 120,
+            fig1_ios_per_client: 120,
+            table2_reads: 24,
+            lemma13_steps: 800,
+            seed: 0xDA4,
+        }
+    }
+
+    /// Read overrides from `DAM_N_KEYS`, `DAM_OPS`, `DAM_CACHE_MB`,
+    /// `DAM_SEED` environment variables.
+    pub fn from_env() -> Self {
+        let mut s = Scale::default();
+        if let Ok(v) = std::env::var("DAM_N_KEYS") {
+            if let Ok(n) = v.parse() {
+                s.n_keys = n;
+            }
+        }
+        if let Ok(v) = std::env::var("DAM_OPS") {
+            if let Ok(n) = v.parse() {
+                s.ops = n;
+            }
+        }
+        if let Ok(v) = std::env::var("DAM_CACHE_MB") {
+            if let Ok(n) = v.parse::<u64>() {
+                s.cache_bytes = n << 20;
+            }
+        }
+        if let Ok(v) = std::env::var("DAM_SEED") {
+            if let Ok(n) = v.parse() {
+                s.seed = n;
+            }
+        }
+        s
+    }
+}

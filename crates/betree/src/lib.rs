@@ -1,0 +1,38 @@
+//! Bε-trees over the simulated storage stack — the write-optimized
+//! dictionary of §3 and §6, in two variants.
+//!
+//! # Standard variant ([`BeTree`])
+//!
+//! The textbook structure (and what TokuDB implements): internal nodes hold
+//! pivots, children, and a per-child message buffer; the whole node is one
+//! IO of `node_bytes`. Inserts and deletes enter the root buffer as
+//! sequenced messages; when a node's image overflows its slot, the buffered
+//! messages for the fullest child are *flushed* one level down, cascading as
+//! needed. Queries read a root-to-leaf path and replay pending messages over
+//! the leaf value. This is the structure Figure 3 measures and Lemma 8
+//! analyzes: query cost `(1 + αB)·log_F(N/M)`.
+//!
+//! # Optimized variant ([`OptBeTree`], Theorem 9)
+//!
+//! The paper's improved design. Every node is a slot of `2F` fixed-size
+//! *segments* of `B/F` bytes:
+//!
+//! * segment `j` of an internal node holds a [`ChildDesc`]: the address and
+//!   routing keys (pivots) of child `j` **plus** the messages pending for
+//!   child `j`'s subtree — "we store the pivots of a node outside of that
+//!   node — specifically in the node's parent";
+//! * segment `j` of a leaf holds a sorted run of key-value pairs (a
+//!   *subleaf* — TokuDB's "basement node").
+//!
+//! A query therefore reads exactly **one segment per level** — cost
+//! `1 + α(B/F + F·key)` instead of `1 + αB` — while flushes still move
+//! batches of messages at full node granularity. This removes the
+//! insert/query node-size trade-off (Corollaries 10–12).
+
+pub mod node;
+pub mod opt;
+pub mod tree;
+
+pub use node::BeNode;
+pub use opt::{ChildDesc, OptBeTree, OptConfig};
+pub use tree::{BeTree, BeTreeConfig};

@@ -1,0 +1,1371 @@
+//! The Theorem-9 optimized Bε-tree.
+//!
+//! Layout (see crate docs): every node is a device slot of `cap = 2F`
+//! contiguous segments of `seg_bytes` each. Segment `j` of an internal node
+//! holds the [`ChildDesc`] of child `j` — its address, its routing keys
+//! ("we store the pivots of a node outside of that node — specifically in
+//! the node's parent"), and the messages pending for its subtree, capped at
+//! one segment. Segment `j` of a leaf holds a sorted subleaf of key-value
+//! pairs.
+//!
+//! IO granularity is the whole point:
+//!
+//! * **queries** read exactly one segment per level
+//!   ([`dam_cache::Pager::read_within`]) — an IO of `B/(2F)` bytes, affine
+//!   cost `1 + αB/F`-ish per level (Theorem 9's query bound);
+//! * **flushes and splits** read and write whole nodes — *one* IO of `B`
+//!   bytes (the segments are contiguous on the device), affine cost
+//!   `1 + αB`, amortized over the `Θ(B/F)` message bytes moved (Theorem 9's
+//!   insert bound).
+//!
+//! Deviations from the paper, both documented in DESIGN.md: balance is
+//! maintained by bottom-up splits rather than weight-balanced subtree
+//! rebuilds (same asymptotics, different constants on the rebalance term),
+//! and deletions leave sparse leaves rather than triggering merges.
+
+use crate::node::{
+    apply_msgs_to_entries, buffer_insert, buffer_merge, decode_alloc_state, encode_alloc_state,
+};
+use dam_cache::{Pager, PagerError};
+
+const OPT_SUPERBLOCK_MAGIC: u32 = 0x4441_4D4F; // "DAMO"
+const OPT_SUPERBLOCK_VERSION: u8 = 1;
+use dam_kv::codec::{CodecError, Reader, Writer};
+use dam_kv::msg::{replay, LastWriteWins, MergeOperator, Message, Operation};
+use dam_kv::{Dictionary, KvError, OpCost};
+use dam_storage::SharedDevice;
+
+const TAG_EMPTY: u8 = 0;
+const TAG_SUBLEAF: u8 = 1;
+const TAG_DESC: u8 = 2;
+
+/// Configuration of the optimized tree.
+pub struct OptConfig {
+    /// Target fanout `F`. Nodes hold up to `2F` segments.
+    pub fanout: usize,
+    /// Segment size in bytes (≈ `B / 2F`). Queries read one segment per
+    /// level.
+    pub seg_bytes: usize,
+    /// Buffer-pool budget in bytes.
+    pub cache_bytes: u64,
+    /// Upsert merge semantics.
+    pub merge: Box<dyn MergeOperator>,
+    /// Fill fraction for bulk-loaded subleaves.
+    pub bulk_fill: f64,
+}
+
+impl OptConfig {
+    /// Explicit configuration with last-write-wins upserts.
+    pub fn new(fanout: usize, seg_bytes: usize, cache_bytes: u64) -> Self {
+        OptConfig { fanout, seg_bytes, cache_bytes, merge: Box::new(LastWriteWins), bulk_fill: 0.8 }
+    }
+
+    /// Bytes reserved at device offset 0 for the superblock: large enough
+    /// for the root descriptor (one segment) plus allocator state.
+    pub fn superblock_bytes(&self) -> u64 {
+        (self.seg_bytes as u64 + 1024).max(4096)
+    }
+
+    /// The Corollary-12 shape for a target node size: `F ≈ √(B/entry)`,
+    /// `seg = B / 2F` (with a floor so a descriptor holding `2F` routing
+    /// keys still has message room).
+    pub fn balanced(node_bytes: usize, approx_entry_bytes: usize, cache_bytes: u64) -> Self {
+        let entries = (node_bytes / approx_entry_bytes.max(1)).max(4);
+        let fanout = ((entries as f64).sqrt().ceil() as usize).max(2);
+        let seg = (node_bytes / (2 * fanout)).max(256);
+        Self::new(fanout, seg, cache_bytes)
+    }
+
+    /// Segments per node slot.
+    pub fn cap(&self) -> usize {
+        2 * self.fanout
+    }
+
+    /// Node slot size in bytes.
+    pub fn node_bytes(&self) -> usize {
+        self.cap() * self.seg_bytes
+    }
+}
+
+/// What a parent knows about a child: where it lives, how to route within
+/// it, and the messages pending for its subtree. This *is* the on-disk
+/// content of one internal segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChildDesc {
+    /// Base offset of the child's node slot.
+    pub addr: u64,
+    /// Whether the child is a leaf (its segments are subleaves).
+    pub is_leaf: bool,
+    /// The child's routing keys: segment `j` of the child covers keys in
+    /// `[boundaries[j-1], boundaries[j])`. `used = boundaries.len() + 1`.
+    pub boundaries: Vec<Vec<u8>>,
+    /// Messages pending for the child's subtree, sorted by `(key, seq)`.
+    pub msgs: Vec<Message>,
+}
+
+impl ChildDesc {
+    /// Number of segments the child uses.
+    pub fn used(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+
+    /// Which of the child's segments routes `key`.
+    pub fn route(&self, key: &[u8]) -> usize {
+        self.boundaries.partition_point(|b| b.as_slice() <= key)
+    }
+
+    /// Conservative serialized size (message footprints are upper bounds).
+    pub fn size(&self) -> usize {
+        1 + 8
+            + 1
+            + 4
+            + self.boundaries.iter().map(|b| 4 + b.len()).sum::<usize>()
+            + 4
+            + self.msgs.iter().map(Message::footprint).sum::<usize>()
+    }
+}
+
+/// One decoded segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Seg {
+    Subleaf(Vec<(Vec<u8>, Vec<u8>)>),
+    Desc(ChildDesc),
+}
+
+impl Seg {
+    fn size(&self) -> usize {
+        match self {
+            Seg::Subleaf(entries) => {
+                1 + 4 + entries.iter().map(|(k, v)| 8 + k.len() + v.len()).sum::<usize>()
+            }
+            Seg::Desc(d) => d.size(),
+        }
+    }
+
+    fn encode_into(&self, w: &mut Writer) {
+        match self {
+            Seg::Subleaf(entries) => {
+                w.put_u8(TAG_SUBLEAF);
+                w.put_u32(entries.len() as u32);
+                for (k, v) in entries {
+                    w.put_bytes(k);
+                    w.put_bytes(v);
+                }
+            }
+            Seg::Desc(d) => {
+                w.put_u8(TAG_DESC);
+                w.put_u64(d.addr);
+                w.put_u8(d.is_leaf as u8);
+                w.put_u32(d.boundaries.len() as u32);
+                for b in &d.boundaries {
+                    w.put_bytes(b);
+                }
+                w.put_u32(d.msgs.len() as u32);
+                for m in &d.msgs {
+                    m.encode(w);
+                }
+            }
+        }
+    }
+
+    fn decode(buf: &[u8]) -> Result<Option<Seg>, CodecError> {
+        let mut r = Reader::new(buf);
+        Self::decode_from(&mut r)
+    }
+
+    /// Decode one segment from an open reader, leaving the reader positioned
+    /// just past it.
+    fn decode_from(r: &mut Reader<'_>) -> Result<Option<Seg>, CodecError> {
+        match r.get_u8()? {
+            TAG_EMPTY => Ok(None),
+            TAG_SUBLEAF => {
+                let n = r.get_u32()? as usize;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let k = r.get_bytes()?.to_vec();
+                    let v = r.get_bytes()?.to_vec();
+                    entries.push((k, v));
+                }
+                Ok(Some(Seg::Subleaf(entries)))
+            }
+            TAG_DESC => {
+                let addr = r.get_u64()?;
+                let is_leaf = r.get_u8()? != 0;
+                let nb = r.get_u32()? as usize;
+                let mut boundaries = Vec::with_capacity(nb);
+                for _ in 0..nb {
+                    boundaries.push(r.get_bytes()?.to_vec());
+                }
+                let nm = r.get_u32()? as usize;
+                let mut msgs = Vec::with_capacity(nm);
+                for _ in 0..nm {
+                    msgs.push(Message::decode(r)?);
+                }
+                Ok(Some(Seg::Desc(ChildDesc { addr, is_leaf, boundaries, msgs })))
+            }
+            _ => Err(CodecError::Invalid("unknown segment tag")),
+        }
+    }
+}
+
+fn map_pager(e: PagerError) -> KvError {
+    KvError::Storage(e.to_string())
+}
+
+/// The optimized Bε-tree (see module docs).
+pub struct OptBeTree {
+    pager: Pager,
+    fanout: usize,
+    cap: usize,
+    seg_bytes: usize,
+    node_bytes: usize,
+    merge: Box<dyn MergeOperator>,
+    root: ChildDesc,
+    height: u32,
+    count: u64,
+    next_seq: u64,
+    last_cost: OpCost,
+}
+
+impl OptBeTree {
+    /// Create an empty tree on `device`.
+    pub fn create(device: SharedDevice, cfg: OptConfig) -> Result<Self, KvError> {
+        if cfg.fanout < 2 {
+            return Err(KvError::Config("fanout must be at least 2".into()));
+        }
+        if cfg.seg_bytes < 64 {
+            return Err(KvError::Config(format!("seg_bytes {} too small", cfg.seg_bytes)));
+        }
+        if !(0.5..=1.0).contains(&cfg.bulk_fill) {
+            return Err(KvError::Config("bulk_fill must be in [0.5, 1.0]".into()));
+        }
+        let cap = cfg.cap();
+        let node_bytes = cfg.node_bytes();
+        let mut pager = Pager::new(device, cfg.cache_bytes, cfg.superblock_bytes());
+        let addr = pager.alloc(node_bytes as u64).map_err(map_pager)?;
+        let mut tree = OptBeTree {
+            pager,
+            fanout: cfg.fanout,
+            cap,
+            seg_bytes: cfg.seg_bytes,
+            node_bytes,
+            merge: cfg.merge,
+            root: ChildDesc { addr, is_leaf: true, boundaries: Vec::new(), msgs: Vec::new() },
+            height: 1,
+            count: 0,
+            next_seq: 1,
+            last_cost: OpCost::default(),
+        };
+        tree.write_whole(addr, &[Seg::Subleaf(Vec::new())])?;
+        Ok(tree)
+    }
+
+    /// Node slot size (`B`).
+    pub fn node_bytes(&self) -> usize {
+        self.node_bytes
+    }
+
+    /// Segment size (the query IO unit, `≈ B/2F`).
+    pub fn seg_bytes(&self) -> usize {
+        self.seg_bytes
+    }
+
+    /// Target fanout `F`.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Tree height in node levels (a lone leaf node = 1).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// The pager (counters, flush, cache drops).
+    pub fn pager(&mut self) -> &mut Pager {
+        &mut self.pager
+    }
+
+    /// Write all dirty nodes.
+    pub fn flush(&mut self) -> Result<(), KvError> {
+        self.pager.flush().map_err(map_pager)
+    }
+
+    /// Checkpoint: flush dirty nodes, then durably write a superblock (the
+    /// root descriptor — including any buffered root messages — plus tree
+    /// metadata and allocator state) so [`OptBeTree::open`] can reconstruct
+    /// the tree.
+    pub fn persist(&mut self) -> Result<(), KvError> {
+        self.flush()?;
+        let reserved = (self.seg_bytes as u64 + 1024).max(4096);
+        let mut w = Writer::with_capacity(reserved as usize);
+        w.put_u32(OPT_SUPERBLOCK_MAGIC);
+        w.put_u8(OPT_SUPERBLOCK_VERSION);
+        w.put_u32(self.fanout as u32);
+        w.put_u64(self.seg_bytes as u64);
+        w.put_u32(self.height);
+        w.put_u64(self.count);
+        w.put_u64(self.next_seq);
+        // Root descriptor (reuses the segment encoding).
+        Seg::Desc(self.root.clone()).encode_into(&mut w);
+        encode_alloc_state(&mut w, &self.pager);
+        let mut image = w.into_bytes();
+        if image.len() as u64 > reserved {
+            return Err(KvError::Config("superblock overflow".into()));
+        }
+        image.resize(reserved as usize, 0);
+        self.pager.write_through(0, image).map_err(map_pager)
+    }
+
+    /// Reopen a tree previously [`OptBeTree::persist`]ed on `device`. The
+    /// config's fanout and segment size must match.
+    pub fn open(device: SharedDevice, cfg: OptConfig) -> Result<Self, KvError> {
+        let reserved = cfg.superblock_bytes();
+        let mut pager = Pager::new(device, cfg.cache_bytes, reserved);
+        let image = pager.read(0, reserved as usize).map_err(map_pager)?;
+        let mut r = Reader::new(&image);
+        let corrupt = |what: String| KvError::Corrupt(format!("superblock: {what}"));
+        let dec = |e: CodecError| corrupt(e.to_string());
+        if r.get_u32().map_err(dec)? != OPT_SUPERBLOCK_MAGIC {
+            return Err(corrupt("bad magic (no optimized Be-tree on this device?)".into()));
+        }
+        if r.get_u8().map_err(dec)? != OPT_SUPERBLOCK_VERSION {
+            return Err(corrupt("unsupported version".into()));
+        }
+        let fanout = r.get_u32().map_err(dec)? as usize;
+        let seg_bytes = r.get_u64().map_err(dec)? as usize;
+        if fanout != cfg.fanout || seg_bytes != cfg.seg_bytes {
+            return Err(KvError::Config(format!(
+                "shape mismatch: device has F={fanout}/seg={seg_bytes}, config says F={}/seg={}",
+                cfg.fanout, cfg.seg_bytes
+            )));
+        }
+        let height = r.get_u32().map_err(dec)?;
+        let count = r.get_u64().map_err(dec)?;
+        let next_seq = r.get_u64().map_err(dec)?;
+        let root = match Seg::decode_from(&mut r).map_err(dec)? {
+            Some(Seg::Desc(d)) => d,
+            _ => return Err(corrupt("missing root descriptor".into())),
+        };
+        let (high_water, free) = decode_alloc_state(&mut r).map_err(dec)?;
+        pager.restore_alloc(high_water, free, reserved);
+        Ok(OptBeTree {
+            pager,
+            fanout: cfg.fanout,
+            cap: cfg.cap(),
+            seg_bytes: cfg.seg_bytes,
+            node_bytes: cfg.node_bytes(),
+            merge: cfg.merge,
+            root,
+            height,
+            count,
+            next_seq,
+            last_cost: OpCost::default(),
+        })
+    }
+
+    /// Flush and empty the cache.
+    pub fn drop_cache(&mut self) -> Result<(), KvError> {
+        self.pager.drop_cache().map_err(map_pager)
+    }
+
+    // ------------------------------------------------------------------
+    // Segment / node IO
+    // ------------------------------------------------------------------
+
+    fn write_whole(&mut self, addr: u64, segs: &[Seg]) -> Result<(), KvError> {
+        if segs.len() > self.cap {
+            return Err(KvError::Config(format!(
+                "{} segments exceed node capacity {}",
+                segs.len(),
+                self.cap
+            )));
+        }
+        let mut image = Vec::with_capacity(self.node_bytes);
+        for seg in segs {
+            if seg.size() > self.seg_bytes {
+                return Err(KvError::Config(format!(
+                    "segment of {} bytes exceeds seg_bytes {}",
+                    seg.size(),
+                    self.seg_bytes
+                )));
+            }
+            let mut w = Writer::with_capacity(self.seg_bytes);
+            seg.encode_into(&mut w);
+            let mut buf = w.into_bytes();
+            debug_assert!(buf.len() <= self.seg_bytes);
+            buf.resize(self.seg_bytes, 0);
+            image.extend_from_slice(&buf);
+        }
+        image.resize(self.node_bytes, 0);
+        self.pager.write(addr, image).map_err(map_pager)
+    }
+
+    fn read_whole(&mut self, addr: u64, used: usize) -> Result<Vec<Seg>, KvError> {
+        let image = self.pager.read(addr, self.node_bytes).map_err(map_pager)?;
+        let mut segs = Vec::with_capacity(used);
+        for j in 0..used {
+            let slice = &image[j * self.seg_bytes..(j + 1) * self.seg_bytes];
+            match Seg::decode(slice)
+                .map_err(|e| KvError::Corrupt(format!("node {addr} seg {j}: {e}")))?
+            {
+                Some(s) => segs.push(s),
+                None => {
+                    return Err(KvError::Corrupt(format!(
+                        "node {addr}: expected {used} segments, found {j}"
+                    )))
+                }
+            }
+        }
+        Ok(segs)
+    }
+
+    fn read_seg(&mut self, addr: u64, j: usize) -> Result<Seg, KvError> {
+        let buf = self
+            .pager
+            .read_within(addr, self.node_bytes, j * self.seg_bytes, self.seg_bytes)
+            .map_err(map_pager)?;
+        match Seg::decode(&buf).map_err(|e| KvError::Corrupt(format!("node {addr} seg {j}: {e}")))? {
+            Some(s) => Ok(s),
+            None => Err(KvError::Corrupt(format!("node {addr}: segment {j} empty"))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Message partitioning
+    // ------------------------------------------------------------------
+
+    /// Partition `(key, seq)`-sorted messages by boundaries into per-segment
+    /// groups.
+    fn partition(msgs: Vec<Message>, boundaries: &[Vec<u8>]) -> Vec<Vec<Message>> {
+        let used = boundaries.len() + 1;
+        let mut groups: Vec<Vec<Message>> = (0..used).map(|_| Vec::new()).collect();
+        let mut j = 0usize;
+        for m in msgs {
+            while j < boundaries.len() && boundaries[j].as_slice() <= m.key.as_slice() {
+                j += 1;
+            }
+            groups[j].push(m);
+        }
+        groups
+    }
+
+    // ------------------------------------------------------------------
+    // Flush (the structural workhorse)
+    // ------------------------------------------------------------------
+
+    /// Drain `desc.msgs` into the node it describes. Returns new right
+    /// siblings `(separator, desc)` for the caller to adopt.
+    fn flush_child(&mut self, desc: &mut ChildDesc) -> Result<Vec<(Vec<u8>, ChildDesc)>, KvError> {
+        if desc.msgs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let msgs = std::mem::take(&mut desc.msgs);
+        let mut segs = self.read_whole(desc.addr, desc.used())?;
+        let groups = Self::partition(msgs, &desc.boundaries);
+
+        if desc.is_leaf {
+            for (j, group) in groups.into_iter().enumerate() {
+                if group.is_empty() {
+                    continue;
+                }
+                let Seg::Subleaf(entries) = &mut segs[j] else {
+                    return Err(KvError::Corrupt(
+                        "desc says leaf but segment is not a subleaf".into(),
+                    ));
+                };
+                let delta = apply_msgs_to_entries(entries, &group, self.merge.as_ref());
+                self.count = (self.count as i64 + delta) as u64;
+            }
+            self.persist_leaf(desc, segs)
+        } else {
+            for (j, group) in groups.into_iter().enumerate() {
+                if group.is_empty() {
+                    continue;
+                }
+                let Seg::Desc(d) = &mut segs[j] else {
+                    return Err(KvError::Corrupt(
+                        "desc says internal but segment is not a desc".into(),
+                    ));
+                };
+                let existing = std::mem::take(&mut d.msgs);
+                d.msgs = buffer_merge(existing, group);
+            }
+            // Cascade any over-budget child descriptors.
+            let mut j = 0usize;
+            while j < segs.len() {
+                let needs_flush = matches!(&segs[j], Seg::Desc(d) if d.size() > self.seg_bytes);
+                if needs_flush {
+                    let Seg::Desc(d) = &mut segs[j] else { unreachable!() };
+                    let sibs = self.flush_child(d)?;
+                    if let Seg::Desc(d) = &segs[j] {
+                        if d.size() > self.seg_bytes {
+                            return Err(KvError::Config(
+                                "drained descriptor still exceeds seg_bytes (fanout/keys too large)"
+                                    .into(),
+                            ));
+                        }
+                    }
+                    for (off, (sep, nd)) in sibs.into_iter().enumerate() {
+                        desc.boundaries.insert(j + off, sep);
+                        segs.insert(j + 1 + off, Seg::Desc(nd));
+                    }
+                }
+                j += 1;
+            }
+            self.persist_internal(desc, segs)
+        }
+    }
+
+    /// Persist a leaf's segments, repacking/splitting if any subleaf
+    /// overflows. Updates `desc.boundaries`; returns new sibling leaves.
+    fn persist_leaf(
+        &mut self,
+        desc: &mut ChildDesc,
+        segs: Vec<Seg>,
+    ) -> Result<Vec<(Vec<u8>, ChildDesc)>, KvError> {
+        let any_oversize = segs.iter().any(|s| s.size() > self.seg_bytes);
+        if !any_oversize && segs.len() <= self.cap {
+            self.write_whole(desc.addr, &segs)?;
+            return Ok(Vec::new());
+        }
+        // Repack: concatenate (already key-ordered) and re-chunk.
+        let mut all: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for seg in segs {
+            let Seg::Subleaf(entries) = seg else {
+                return Err(KvError::Corrupt("leaf repack found non-subleaf".into()));
+            };
+            all.extend(entries);
+        }
+        let target = (self.seg_bytes * 3) / 4;
+        let mut chunks: Vec<Vec<(Vec<u8>, Vec<u8>)>> = Vec::new();
+        let mut cur: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        let mut bytes = 5usize;
+        for (k, v) in all {
+            let sz = 8 + k.len() + v.len();
+            if 5 + sz > self.seg_bytes {
+                return Err(KvError::Config("entry larger than a subleaf".into()));
+            }
+            if !cur.is_empty() && bytes + sz > target {
+                chunks.push(std::mem::take(&mut cur));
+                bytes = 5;
+            }
+            bytes += sz;
+            cur.push((k, v));
+        }
+        if !cur.is_empty() {
+            chunks.push(cur);
+        }
+        if chunks.is_empty() {
+            chunks.push(Vec::new());
+        }
+        // Group chunks into leaf nodes of at most `fanout` subleaves.
+        let mut out = Vec::new();
+        #[allow(clippy::type_complexity)]
+        let node_groups: Vec<&[Vec<(Vec<u8>, Vec<u8>)>]> =
+            chunks.chunks(self.fanout.max(1)).collect();
+        for (gi, group) in node_groups.iter().enumerate() {
+            let addr = if gi == 0 { desc.addr } else { self.alloc_node()? };
+            let boundaries: Vec<Vec<u8>> = group[1..].iter().map(|c| c[0].0.clone()).collect();
+            let group_segs: Vec<Seg> = group.iter().map(|c| Seg::Subleaf(c.to_vec())).collect();
+            self.write_whole(addr, &group_segs)?;
+            if gi == 0 {
+                desc.boundaries = boundaries;
+            } else {
+                let sep = group[0][0].0.clone();
+                out.push((sep, ChildDesc { addr, is_leaf: true, boundaries, msgs: Vec::new() }));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Persist an internal node's segments, splitting the node when it
+    /// exceeds capacity. Updates `desc.boundaries`; returns new siblings.
+    fn persist_internal(
+        &mut self,
+        desc: &mut ChildDesc,
+        segs: Vec<Seg>,
+    ) -> Result<Vec<(Vec<u8>, ChildDesc)>, KvError> {
+        debug_assert_eq!(segs.len(), desc.boundaries.len() + 1);
+        if segs.len() <= self.cap {
+            self.write_whole(desc.addr, &segs)?;
+            return Ok(Vec::new());
+        }
+        // Split into nodes of at most `fanout` segments.
+        let group_size = self.fanout.max(2);
+        let boundaries = std::mem::take(&mut desc.boundaries);
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        let mut gi = 0usize;
+        while start < segs.len() {
+            let end = (start + group_size).min(segs.len());
+            let addr = if gi == 0 { desc.addr } else { self.alloc_node()? };
+            let part_bounds: Vec<Vec<u8>> = boundaries[start..end - 1].to_vec();
+            self.write_whole(addr, &segs[start..end])?;
+            if gi == 0 {
+                desc.boundaries = part_bounds;
+            } else {
+                let sep = boundaries[start - 1].clone();
+                out.push((
+                    sep,
+                    ChildDesc { addr, is_leaf: false, boundaries: part_bounds, msgs: Vec::new() },
+                ));
+            }
+            start = end;
+            gi += 1;
+        }
+        Ok(out)
+    }
+
+    fn alloc_node(&mut self) -> Result<u64, KvError> {
+        self.pager.alloc(self.node_bytes as u64).map_err(map_pager)
+    }
+
+    /// Grow the root when it splits.
+    fn grow_root(&mut self, siblings: Vec<(Vec<u8>, ChildDesc)>) -> Result<(), KvError> {
+        if siblings.is_empty() {
+            return Ok(());
+        }
+        let addr = self.alloc_node()?;
+        let old = std::mem::replace(
+            &mut self.root,
+            ChildDesc { addr, is_leaf: false, boundaries: Vec::new(), msgs: Vec::new() },
+        );
+        let mut segs = vec![Seg::Desc(old)];
+        let mut boundaries = Vec::new();
+        for (sep, d) in siblings {
+            boundaries.push(sep);
+            segs.push(Seg::Desc(d));
+        }
+        self.write_whole(addr, &segs)?;
+        self.root.boundaries = boundaries;
+        self.height += 1;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Entry points
+    // ------------------------------------------------------------------
+
+    fn entry_fits(&self, key: &[u8], payload: usize) -> Result<(), KvError> {
+        let entry = 5 + 8 + key.len() + payload;
+        let msg = 17 + key.len() + payload + 18; // desc fixed overhead
+        if entry.max(msg) > self.seg_bytes {
+            return Err(KvError::Config(format!(
+                "entry of key {} + payload {} bytes cannot fit in seg_bytes {}",
+                key.len(),
+                payload,
+                self.seg_bytes
+            )));
+        }
+        Ok(())
+    }
+
+    fn enqueue(&mut self, key: &[u8], op: Operation) -> Result<(), KvError> {
+        self.entry_fits(key, op.payload_len())?;
+        let msg = Message { seq: self.next_seq, key: key.to_vec(), op };
+        self.next_seq += 1;
+        let mut root = std::mem::replace(
+            &mut self.root,
+            ChildDesc { addr: 0, is_leaf: true, boundaries: Vec::new(), msgs: Vec::new() },
+        );
+        buffer_insert(&mut root.msgs, msg);
+        let result = if root.size() > self.seg_bytes {
+            self.flush_child(&mut root)
+        } else {
+            Ok(Vec::new())
+        };
+        self.root = root;
+        let siblings = result?;
+        self.grow_root(siblings)
+    }
+
+    /// Upsert: merge `delta` into the key's value via the configured
+    /// [`MergeOperator`].
+    pub fn upsert(&mut self, key: &[u8], delta: &[u8]) -> Result<(), KvError> {
+        let snap = self.pager.snapshot();
+        self.enqueue(key, Operation::Upsert(delta.to_vec()))?;
+        self.finish_op(&snap);
+        Ok(())
+    }
+
+    fn get_inner(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
+        fn collect(collected: &mut Vec<Message>, msgs: &[Message], key: &[u8]) {
+            let lo = msgs.partition_point(|m| m.key.as_slice() < key);
+            for m in &msgs[lo..] {
+                if m.key.as_slice() != key {
+                    break;
+                }
+                collected.push(m.clone());
+            }
+        }
+        let mut collected: Vec<Message> = Vec::new();
+        collect(&mut collected, &self.root.msgs, key);
+        let mut desc = self.root.clone();
+        loop {
+            let j = desc.route(key);
+            if desc.is_leaf {
+                let seg = self.read_seg(desc.addr, j)?;
+                let Seg::Subleaf(entries) = seg else {
+                    return Err(KvError::Corrupt("expected subleaf".into()));
+                };
+                let base = entries
+                    .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+                    .ok()
+                    .map(|i| entries[i].1.clone());
+                collected.sort_by_key(|m| m.seq);
+                return Ok(replay(base.as_deref(), &collected, self.merge.as_ref()));
+            }
+            let seg = self.read_seg(desc.addr, j)?;
+            let Seg::Desc(next) = seg else {
+                return Err(KvError::Corrupt("expected descriptor segment".into()));
+            };
+            collect(&mut collected, &next.msgs, key);
+            desc = next;
+        }
+    }
+
+    fn range_rec(
+        &mut self,
+        desc: &ChildDesc,
+        start: &[u8],
+        end: &[u8],
+        inherited: Vec<Message>,
+        out: &mut Vec<(Vec<u8>, Vec<u8>)>,
+    ) -> Result<(), KvError> {
+        // Pending messages for this subtree, restricted to the query range.
+        let own: Vec<Message> = desc
+            .msgs
+            .iter()
+            .filter(|m| m.key.as_slice() >= start && m.key.as_slice() < end)
+            .cloned()
+            .collect();
+        let merged = buffer_merge(inherited, own);
+        let groups = Self::partition(merged, &desc.boundaries);
+        for (j, group) in groups.into_iter().enumerate() {
+            let seg_lo = if j == 0 { None } else { Some(desc.boundaries[j - 1].as_slice()) };
+            let seg_hi = if j == desc.boundaries.len() {
+                None
+            } else {
+                Some(desc.boundaries[j].as_slice())
+            };
+            let overlaps = seg_lo.is_none_or(|l| l < end) && seg_hi.is_none_or(|h| h > start);
+            if !overlaps {
+                debug_assert!(group.is_empty());
+                continue;
+            }
+            if desc.is_leaf {
+                let Seg::Subleaf(mut entries) = self.read_seg(desc.addr, j)? else {
+                    return Err(KvError::Corrupt("expected subleaf".into()));
+                };
+                apply_msgs_to_entries(&mut entries, &group, self.merge.as_ref());
+                let lo = entries.partition_point(|(k, _)| k.as_slice() < start);
+                for (k, v) in &entries[lo..] {
+                    if k.as_slice() >= end {
+                        break;
+                    }
+                    out.push((k.clone(), v.clone()));
+                }
+            } else {
+                let Seg::Desc(child) = self.read_seg(desc.addr, j)? else {
+                    return Err(KvError::Corrupt("expected descriptor segment".into()));
+                };
+                self.range_rec(&child, start, end, group, out)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Drain / bulk load / invariants
+    // ------------------------------------------------------------------
+
+    /// Push every pending message down to the subleaves.
+    pub fn drain_all(&mut self) -> Result<(), KvError> {
+        let mut root = std::mem::replace(
+            &mut self.root,
+            ChildDesc { addr: 0, is_leaf: true, boundaries: Vec::new(), msgs: Vec::new() },
+        );
+        let result = self.drain_desc(&mut root);
+        self.root = root;
+        let siblings = result?;
+        self.grow_root(siblings)
+    }
+
+    fn drain_desc(&mut self, desc: &mut ChildDesc) -> Result<Vec<(Vec<u8>, ChildDesc)>, KvError> {
+        let siblings = self.flush_child(desc)?;
+        if !desc.is_leaf {
+            let mut segs = self.read_whole(desc.addr, desc.used())?;
+            let mut j = 0usize;
+            while j < segs.len() {
+                let Seg::Desc(d) = &mut segs[j] else {
+                    return Err(KvError::Corrupt("expected descriptor segment".into()));
+                };
+                let sibs = self.drain_desc(d)?;
+                let k = sibs.len();
+                for (off, (sep, nd)) in sibs.into_iter().enumerate() {
+                    desc.boundaries.insert(j + off, sep);
+                    segs.insert(j + 1 + off, Seg::Desc(nd));
+                }
+                j += 1 + k;
+            }
+            let more = self.persist_internal(desc, segs)?;
+            // Siblings from a node split contain already-drained descs.
+            let mut full = siblings;
+            full.extend(more);
+            return self.drain_siblings(full);
+        }
+        self.drain_siblings(siblings)
+    }
+
+    fn drain_siblings(
+        &mut self,
+        siblings: Vec<(Vec<u8>, ChildDesc)>,
+    ) -> Result<Vec<(Vec<u8>, ChildDesc)>, KvError> {
+        let mut full = Vec::new();
+        for (sep, mut sd) in siblings {
+            let more = self.drain_desc(&mut sd)?;
+            full.push((sep, sd));
+            full.extend(more);
+        }
+        Ok(full)
+    }
+
+    /// Build a tree bottom-up from strictly ascending pairs.
+    pub fn bulk_load(
+        device: SharedDevice,
+        cfg: OptConfig,
+        pairs: impl IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
+    ) -> Result<Self, KvError> {
+        let bulk_fill = cfg.bulk_fill;
+        let mut tree = OptBeTree::create(device, cfg)?;
+        let target = (tree.seg_bytes as f64 * bulk_fill) as usize;
+
+        // Pack entries into subleaf chunks.
+        let mut chunks: Vec<Vec<(Vec<u8>, Vec<u8>)>> = Vec::new();
+        let mut cur: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        let mut bytes = 5usize;
+        let mut count = 0u64;
+        let mut last: Option<Vec<u8>> = None;
+        for (k, v) in pairs {
+            if let Some(prev) = &last {
+                if *prev >= k {
+                    return Err(KvError::Config("bulk_load input not strictly ascending".into()));
+                }
+            }
+            last = Some(k.clone());
+            tree.entry_fits(&k, v.len())?;
+            let sz = 8 + k.len() + v.len();
+            if !cur.is_empty() && bytes + sz > target {
+                chunks.push(std::mem::take(&mut cur));
+                bytes = 5;
+            }
+            bytes += sz;
+            cur.push((k, v));
+            count += 1;
+        }
+        if !cur.is_empty() {
+            chunks.push(cur);
+        }
+        if chunks.is_empty() {
+            return Ok(tree);
+        }
+
+        // Leaf level: `fanout` subleaves per leaf node.
+        let mut level: Vec<(Vec<u8>, ChildDesc)> = Vec::new();
+        for group in chunks.chunks(tree.fanout.max(1)) {
+            let first = group[0][0].0.clone();
+            let boundaries: Vec<Vec<u8>> = group[1..].iter().map(|c| c[0].0.clone()).collect();
+            let addr = if level.is_empty() { tree.root.addr } else { tree.alloc_node()? };
+            let segs: Vec<Seg> = group.iter().map(|c| Seg::Subleaf(c.to_vec())).collect();
+            tree.write_whole(addr, &segs)?;
+            level.push((first, ChildDesc { addr, is_leaf: true, boundaries, msgs: Vec::new() }));
+        }
+
+        // Internal levels: `fanout` descriptors per node.
+        let mut height = 1u32;
+        while level.len() > 1 {
+            let mut next: Vec<(Vec<u8>, ChildDesc)> = Vec::new();
+            let mut it = level.into_iter().peekable();
+            while it.peek().is_some() {
+                let group: Vec<_> = it.by_ref().take(tree.fanout.max(2)).collect();
+                let first = group[0].0.clone();
+                let boundaries: Vec<Vec<u8>> = group[1..].iter().map(|(k, _)| k.clone()).collect();
+                let addr = tree.alloc_node()?;
+                let segs: Vec<Seg> = group.into_iter().map(|(_, d)| Seg::Desc(d)).collect();
+                tree.write_whole(addr, &segs)?;
+                next.push((
+                    first,
+                    ChildDesc { addr, is_leaf: false, boundaries, msgs: Vec::new() },
+                ));
+            }
+            level = next;
+            height += 1;
+        }
+
+        let (_, root_desc) = level.pop().expect("nonempty level");
+        tree.root = root_desc;
+        tree.height = height;
+        tree.count = count;
+        tree.flush()?;
+        Ok(tree)
+    }
+
+    /// Verify structural invariants; returns live entries at subleaves.
+    pub fn check_invariants(&mut self) -> Result<u64, KvError> {
+        let root = self.root.clone();
+        let height = self.height;
+        let n = self.check_desc(&root, height, None, None, true)?;
+        if n != self.count {
+            return Err(KvError::Corrupt(format!(
+                "count mismatch: walked {n}, tracked {}",
+                self.count
+            )));
+        }
+        Ok(n)
+    }
+
+    fn check_desc(
+        &mut self,
+        desc: &ChildDesc,
+        level: u32,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+        is_root: bool,
+    ) -> Result<u64, KvError> {
+        if !is_root && desc.size() > self.seg_bytes {
+            return Err(KvError::Corrupt(format!("descriptor for {} oversize", desc.addr)));
+        }
+        for w in desc.boundaries.windows(2) {
+            if w[0] >= w[1] {
+                return Err(KvError::Corrupt(format!("node {} boundaries unsorted", desc.addr)));
+            }
+        }
+        for w in desc.msgs.windows(2) {
+            if (w[0].key.as_slice(), w[0].seq) >= (w[1].key.as_slice(), w[1].seq) {
+                return Err(KvError::Corrupt(format!("node {} messages unsorted", desc.addr)));
+            }
+        }
+        for m in &desc.msgs {
+            if lo.is_some_and(|l| m.key.as_slice() < l) || hi.is_some_and(|h| m.key.as_slice() >= h)
+            {
+                return Err(KvError::Corrupt(format!("node {} message out of range", desc.addr)));
+            }
+        }
+        if desc.is_leaf && level != 1 {
+            return Err(KvError::Corrupt(format!("leaf {} at level {level}", desc.addr)));
+        }
+        if !desc.is_leaf && level < 2 {
+            return Err(KvError::Corrupt(format!("internal {} at leaf level", desc.addr)));
+        }
+        let segs = self.read_whole(desc.addr, desc.used())?;
+        let mut total = 0u64;
+        for (j, seg) in segs.iter().enumerate() {
+            let slo = if j == 0 { lo } else { Some(desc.boundaries[j - 1].as_slice()) };
+            let shi =
+                if j == desc.boundaries.len() { hi } else { Some(desc.boundaries[j].as_slice()) };
+            match seg {
+                Seg::Subleaf(entries) => {
+                    if !desc.is_leaf {
+                        return Err(KvError::Corrupt("subleaf under internal desc".into()));
+                    }
+                    for w in entries.windows(2) {
+                        if w[0].0 >= w[1].0 {
+                            return Err(KvError::Corrupt(format!(
+                                "subleaf {}[{j}] unsorted",
+                                desc.addr
+                            )));
+                        }
+                    }
+                    for (k, _) in entries {
+                        if slo.is_some_and(|l| k.as_slice() < l)
+                            || shi.is_some_and(|h| k.as_slice() >= h)
+                        {
+                            return Err(KvError::Corrupt(format!(
+                                "subleaf {}[{j}] key out of range",
+                                desc.addr
+                            )));
+                        }
+                    }
+                    total += entries.len() as u64;
+                }
+                Seg::Desc(d) => {
+                    if desc.is_leaf {
+                        return Err(KvError::Corrupt("descriptor under leaf desc".into()));
+                    }
+                    total += self.check_desc(d, level - 1, slo, shi, false)?;
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    fn finish_op(&mut self, snap: &dam_cache::CostSnapshot) {
+        let d = self.pager.cost_since(snap);
+        self.last_cost = OpCost {
+            ios: d.ios,
+            bytes_read: d.bytes_read,
+            bytes_written: d.bytes_written,
+            io_time_ns: d.io_time_ns,
+        };
+    }
+}
+
+impl Dictionary for OptBeTree {
+    fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<(), KvError> {
+        let snap = self.pager.snapshot();
+        self.enqueue(key, Operation::Put(value.to_vec()))?;
+        self.finish_op(&snap);
+        Ok(())
+    }
+
+    fn delete(&mut self, key: &[u8]) -> Result<(), KvError> {
+        let snap = self.pager.snapshot();
+        self.enqueue(key, Operation::Delete)?;
+        self.finish_op(&snap);
+        Ok(())
+    }
+
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
+        let snap = self.pager.snapshot();
+        let r = self.get_inner(key);
+        self.finish_op(&snap);
+        r
+    }
+
+    fn range(&mut self, start: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>, KvError> {
+        let snap = self.pager.snapshot();
+        let mut out = Vec::new();
+        if start < end {
+            let root = self.root.clone();
+            self.range_rec(&root, start, end, Vec::new(), &mut out)?;
+        }
+        self.finish_op(&snap);
+        Ok(out)
+    }
+
+    fn last_op_cost(&self) -> OpCost {
+        self.last_cost
+    }
+
+    fn sync(&mut self) -> Result<(), KvError> {
+        let snap = self.pager.snapshot();
+        self.flush()?;
+        self.finish_op(&snap);
+        Ok(())
+    }
+
+    /// Exact live-key count; drains all pending messages first.
+    fn len(&mut self) -> Result<u64, KvError> {
+        self.drain_all()?;
+        Ok(self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dam_kv::key_from_u64;
+    use dam_kv::msg::CounterMerge;
+    use dam_storage::{RamDisk, SimDuration};
+
+    fn tree(fanout: usize, seg_bytes: usize) -> OptBeTree {
+        let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 28, SimDuration(1000))));
+        OptBeTree::create(dev, OptConfig::new(fanout, seg_bytes, 1 << 20)).unwrap()
+    }
+
+    fn kv(i: u64) -> (Vec<u8>, Vec<u8>) {
+        (key_from_u64(i).to_vec(), format!("value-{i:08}").into_bytes())
+    }
+
+    #[test]
+    fn empty_tree() {
+        let mut t = tree(4, 512);
+        assert_eq!(t.get(b"x").unwrap(), None);
+        assert_eq!(t.len().unwrap(), 0);
+        assert!(t.range(b"a", b"z").unwrap().is_empty());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let mut t = tree(4, 512);
+        for i in 0..50 {
+            let (k, v) = kv(i);
+            t.insert(&k, &v).unwrap();
+        }
+        for i in 0..50 {
+            let (k, v) = kv(i);
+            assert_eq!(t.get(&k).unwrap(), Some(v), "key {i}");
+        }
+        assert_eq!(t.get(&key_from_u64(50)).unwrap(), None);
+    }
+
+    #[test]
+    fn insert_get_through_growth() {
+        let mut t = tree(4, 512);
+        for i in 0..3000 {
+            let (k, v) = kv(i);
+            t.insert(&k, &v).unwrap();
+        }
+        assert!(t.height() >= 2, "height {}", t.height());
+        t.check_invariants().unwrap();
+        for i in (0..3000).step_by(41) {
+            let (k, v) = kv(i);
+            assert_eq!(t.get(&k).unwrap(), Some(v), "key {i}");
+        }
+        assert_eq!(t.len().unwrap(), 3000);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn random_order_inserts() {
+        let mut t = tree(4, 512);
+        let keys: Vec<u64> = (0..1500).map(|i| (i * 1543) % 1500).collect();
+        for &i in &keys {
+            let (k, v) = kv(i);
+            t.insert(&k, &v).unwrap();
+        }
+        t.check_invariants().unwrap();
+        for &i in &keys {
+            let (k, v) = kv(i);
+            assert_eq!(t.get(&k).unwrap(), Some(v));
+        }
+        assert_eq!(t.len().unwrap(), 1500);
+    }
+
+    #[test]
+    fn overwrite_latest_wins() {
+        let mut t = tree(4, 512);
+        let (k, _) = kv(9);
+        for round in 0..200u32 {
+            t.insert(&k, &round.to_le_bytes()).unwrap();
+        }
+        assert_eq!(t.get(&k).unwrap(), Some(199u32.to_le_bytes().to_vec()));
+        assert_eq!(t.len().unwrap(), 1);
+    }
+
+    #[test]
+    fn tombstones_delete() {
+        let mut t = tree(4, 512);
+        for i in 0..800 {
+            let (k, v) = kv(i);
+            t.insert(&k, &v).unwrap();
+        }
+        for i in (0..800).step_by(3) {
+            let (k, _) = kv(i);
+            t.delete(&k).unwrap();
+        }
+        for i in 0..800 {
+            let (k, v) = kv(i);
+            let expect = if i % 3 == 0 { None } else { Some(v) };
+            assert_eq!(t.get(&k).unwrap(), expect, "key {i}");
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn upserts_merge() {
+        let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 28, SimDuration(1000))));
+        let mut cfg = OptConfig::new(4, 512, 1 << 20);
+        cfg.merge = Box::new(CounterMerge);
+        let mut t = OptBeTree::create(dev, cfg).unwrap();
+        let (k, _) = kv(5);
+        for _ in 0..50 {
+            t.upsert(&k, &3u64.to_le_bytes()).unwrap();
+        }
+        let got = t.get(&k).unwrap().unwrap();
+        assert_eq!(u64::from_le_bytes(got.try_into().unwrap()), 150);
+    }
+
+    #[test]
+    fn range_spans_buffers_and_subleaves() {
+        let mut t = tree(4, 512);
+        for i in 0..1000 {
+            let (k, v) = kv(i);
+            t.insert(&k, &v).unwrap();
+        }
+        let out = t.range(&key_from_u64(200), &key_from_u64(260)).unwrap();
+        assert_eq!(out.len(), 60);
+        for (j, (k, v)) in out.iter().enumerate() {
+            let (ek, ev) = kv(200 + j as u64);
+            assert_eq!((k, v), (&ek, &ev), "at {j}");
+        }
+    }
+
+    #[test]
+    fn range_sees_fresh_tombstones() {
+        let mut t = tree(4, 512);
+        for i in 0..500 {
+            let (k, v) = kv(i);
+            t.insert(&k, &v).unwrap();
+        }
+        t.drain_all().unwrap();
+        for i in 200..210 {
+            let (k, _) = kv(i);
+            t.delete(&k).unwrap();
+        }
+        let out = t.range(&key_from_u64(195), &key_from_u64(215)).unwrap();
+        let keys: Vec<u64> = out.iter().map(|(k, _)| dam_kv::key_to_u64(k).unwrap()).collect();
+        assert_eq!(keys, vec![195, 196, 197, 198, 199, 210, 211, 212, 213, 214]);
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental() {
+        let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 28, SimDuration(1000))));
+        let pairs: Vec<_> = (0..3000).map(kv).collect();
+        let mut t =
+            OptBeTree::bulk_load(dev, OptConfig::new(4, 512, 1 << 20), pairs.clone()).unwrap();
+        t.check_invariants().unwrap();
+        assert_eq!(t.len().unwrap(), 3000);
+        for (k, v) in pairs.iter().step_by(113) {
+            assert_eq!(t.get(k).unwrap().as_ref(), Some(v));
+        }
+        for i in 0..200 {
+            let (k, _) = kv(i);
+            t.delete(&k).unwrap();
+        }
+        assert_eq!(t.len().unwrap(), 2800);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn query_reads_one_segment_per_level() {
+        // The Theorem 9 property this whole variant exists for.
+        let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 28, SimDuration(1000))));
+        let pairs: Vec<_> = (0..20_000).map(kv).collect();
+        let mut t = OptBeTree::bulk_load(dev, OptConfig::new(8, 1024, 1 << 22), pairs).unwrap();
+        t.drop_cache().unwrap();
+        let (k, _) = kv(12_345);
+        t.get(&k).unwrap();
+        let cost = t.last_op_cost();
+        assert_eq!(
+            cost.ios as u32,
+            t.height(),
+            "cold query must read exactly one segment per level"
+        );
+        assert_eq!(
+            cost.bytes_read,
+            t.height() as u64 * t.seg_bytes() as u64,
+            "each query IO is one segment, not a whole node"
+        );
+    }
+
+    #[test]
+    fn structural_ops_use_whole_node_ios() {
+        let mut t = tree(4, 512);
+        for i in 0..2000 {
+            let (k, v) = kv(i);
+            t.insert(&k, &v).unwrap();
+        }
+        t.flush().unwrap();
+        let c = t.pager().counters();
+        // All writes are whole nodes.
+        assert_eq!(c.bytes_written % t.node_bytes() as u64, 0);
+        assert!(c.bytes_written > 0);
+    }
+
+    #[test]
+    fn insert_amortization_beats_node_per_insert() {
+        let mut t = tree(8, 1024);
+        let n = 5000u64;
+        for i in 0..n {
+            let (k, v) = kv((i * 2654435761) % (1 << 30));
+            t.insert(&k, &v).unwrap();
+        }
+        t.flush().unwrap();
+        let per_insert = t.pager().counters().bytes_written as f64 / n as f64;
+        assert!(
+            per_insert < t.node_bytes() as f64 / 2.0,
+            "bytes/insert {per_insert} vs node {}",
+            t.node_bytes()
+        );
+    }
+
+    #[test]
+    fn bulk_load_rejects_unsorted() {
+        let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 24, SimDuration(1000))));
+        assert!(matches!(
+            OptBeTree::bulk_load(dev, OptConfig::new(4, 512, 1 << 20), vec![kv(2), kv(1)]),
+            Err(KvError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_entry_rejected() {
+        let mut t = tree(4, 256);
+        assert!(matches!(t.insert(b"k", &vec![0u8; 400]), Err(KvError::Config(_))));
+    }
+
+    #[test]
+    fn balanced_config_shapes() {
+        let cfg = OptConfig::balanced(1 << 20, 116, 1 << 20);
+        // ~9039 entries → F ≈ 96, seg ≈ 5461.
+        assert!((90..=100).contains(&cfg.fanout), "fanout {}", cfg.fanout);
+        assert!(cfg.node_bytes() >= (1 << 20) - cfg.seg_bytes * 2);
+    }
+
+    #[test]
+    fn persist_and_open_roundtrip() {
+        let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 28, SimDuration(1000))));
+        {
+            let mut t = OptBeTree::create(dev.clone(), OptConfig::new(4, 512, 1 << 20)).unwrap();
+            for i in 0..1200 {
+                let (k, v) = kv(i);
+                t.insert(&k, &v).unwrap();
+            }
+            for i in 0..100 {
+                let (k, _) = kv(i * 2);
+                t.delete(&k).unwrap();
+            }
+            // Deliberately persist with messages still buffered at the root:
+            // the superblock must carry them.
+            t.persist().unwrap();
+        }
+        let mut reopened = OptBeTree::open(dev, OptConfig::new(4, 512, 1 << 20)).unwrap();
+        reopened.check_invariants().unwrap();
+        assert_eq!(reopened.len().unwrap(), 1100);
+        for i in 0..1200 {
+            let (k, v) = kv(i);
+            let expect = if i % 2 == 0 && i < 200 { None } else { Some(v) };
+            assert_eq!(reopened.get(&k).unwrap(), expect, "key {i}");
+        }
+        let (k, _) = kv(600);
+        reopened.insert(&k, b"fresh").unwrap();
+        assert_eq!(reopened.get(&k).unwrap(), Some(b"fresh".to_vec()));
+    }
+
+    #[test]
+    fn open_blank_or_mismatched_errors() {
+        let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 24, SimDuration(1000))));
+        assert!(matches!(
+            OptBeTree::open(dev.clone(), OptConfig::new(4, 512, 1 << 16)),
+            Err(KvError::Corrupt(_))
+        ));
+        let mut t = OptBeTree::create(dev.clone(), OptConfig::new(4, 512, 1 << 16)).unwrap();
+        let (k, v) = kv(1);
+        t.insert(&k, &v).unwrap();
+        t.persist().unwrap();
+        drop(t);
+        assert!(matches!(
+            OptBeTree::open(dev, OptConfig::new(8, 512, 1 << 16)),
+            Err(KvError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn drain_then_count_consistent() {
+        let mut t = tree(4, 512);
+        for i in 0..700 {
+            let (k, v) = kv(i);
+            t.insert(&k, &v).unwrap();
+        }
+        for i in 0..100 {
+            let (k, _) = kv(i);
+            t.delete(&k).unwrap();
+        }
+        assert_eq!(t.len().unwrap(), 600);
+        t.check_invariants().unwrap();
+        // Idempotent.
+        assert_eq!(t.len().unwrap(), 600);
+    }
+}

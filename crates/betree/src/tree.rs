@@ -1,0 +1,1199 @@
+//! The standard Bε-tree: whole-node IOs, per-child buffers, flush-on-overflow.
+
+use crate::node::{
+    buffer_insert, buffer_merge, decode_alloc_state, encode_alloc_state, BeNode, NodeId,
+    LEAF_ENTRY_OVERHEAD, NODE_HEADER_BYTES,
+};
+use dam_cache::{Pager, PagerError};
+use dam_kv::codec::{Reader, Writer};
+
+/// Bytes reserved at device offset 0 for the superblock.
+pub const SUPERBLOCK_BYTES: u64 = 4096;
+const SUPERBLOCK_MAGIC: u32 = 0x4441_4D45; // "DAME"
+const SUPERBLOCK_VERSION: u8 = 1;
+use dam_kv::msg::{replay, LastWriteWins, MergeOperator, Message, Operation};
+use dam_kv::{Dictionary, KvError, OpCost};
+use dam_storage::SharedDevice;
+
+/// Standard Bε-tree configuration.
+pub struct BeTreeConfig {
+    /// Node (and IO) size in bytes — the `B` of §6.
+    pub node_bytes: usize,
+    /// Target fanout `F` (`= B^ε` entries). TokuDB targets ~16; the `F = √B`
+    /// family is the paper's running example.
+    pub fanout: usize,
+    /// Buffer-pool budget in bytes.
+    pub cache_bytes: u64,
+    /// Fill fraction for bulk-loaded nodes.
+    pub bulk_fill: f64,
+    /// Upsert merge semantics.
+    pub merge: Box<dyn MergeOperator>,
+}
+
+impl BeTreeConfig {
+    /// Config with explicit fanout and last-write-wins upserts.
+    pub fn new(node_bytes: usize, fanout: usize, cache_bytes: u64) -> Self {
+        BeTreeConfig {
+            node_bytes,
+            fanout,
+            cache_bytes,
+            bulk_fill: 0.85,
+            merge: Box::new(LastWriteWins),
+        }
+    }
+
+    /// The `ε = 1/2` configuration: `F = √(node_bytes / approx_entry_bytes)`.
+    pub fn sqrt_fanout(node_bytes: usize, approx_entry_bytes: usize, cache_bytes: u64) -> Self {
+        let entries = (node_bytes / approx_entry_bytes.max(1)).max(4);
+        Self::new(node_bytes, (entries as f64).sqrt().ceil() as usize, cache_bytes)
+    }
+}
+
+fn map_pager(e: PagerError) -> KvError {
+    KvError::Storage(e.to_string())
+}
+
+/// A standard Bε-tree (see crate docs).
+pub struct BeTree {
+    pager: Pager,
+    node_bytes: usize,
+    max_fanout: usize,
+    merge: Box<dyn MergeOperator>,
+    root: NodeId,
+    height: u32,
+    /// Live keys at the leaves (pending messages not yet counted).
+    count: u64,
+    next_seq: u64,
+    last_cost: OpCost,
+}
+
+impl BeTree {
+    /// Create an empty tree on `device`.
+    pub fn create(device: SharedDevice, cfg: BeTreeConfig) -> Result<Self, KvError> {
+        if cfg.node_bytes < NODE_HEADER_BYTES + 128 {
+            return Err(KvError::Config(format!("node_bytes {} too small", cfg.node_bytes)));
+        }
+        if cfg.fanout < 2 {
+            return Err(KvError::Config("fanout must be at least 2".into()));
+        }
+        if !(0.5..=1.0).contains(&cfg.bulk_fill) {
+            return Err(KvError::Config("bulk_fill must be in [0.5, 1.0]".into()));
+        }
+        let mut pager = Pager::new(device, cfg.cache_bytes, SUPERBLOCK_BYTES);
+        let root = pager.alloc(cfg.node_bytes as u64).map_err(map_pager)?;
+        let mut tree = BeTree {
+            pager,
+            node_bytes: cfg.node_bytes,
+            max_fanout: (2 * cfg.fanout).max(4),
+            merge: cfg.merge,
+            root,
+            height: 1,
+            count: 0,
+            next_seq: 1,
+            last_cost: OpCost::default(),
+        };
+        tree.write_node(root, &BeNode::empty_leaf())?;
+        Ok(tree)
+    }
+
+    /// Node size in use.
+    pub fn node_bytes(&self) -> usize {
+        self.node_bytes
+    }
+
+    /// Tree height in levels (leaves = 1).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// The pager (counters, flush, cache drops).
+    pub fn pager(&mut self) -> &mut Pager {
+        &mut self.pager
+    }
+
+    /// Write all dirty nodes to the device.
+    pub fn flush(&mut self) -> Result<(), KvError> {
+        self.pager.flush().map_err(map_pager)
+    }
+
+    /// Checkpoint: flush dirty nodes, then durably write a superblock so
+    /// [`BeTree::open`] can reconstruct the tree on this device.
+    pub fn persist(&mut self) -> Result<(), KvError> {
+        self.flush()?;
+        let mut w = Writer::with_capacity(SUPERBLOCK_BYTES as usize);
+        w.put_u32(SUPERBLOCK_MAGIC);
+        w.put_u8(SUPERBLOCK_VERSION);
+        w.put_u64(self.root);
+        w.put_u32(self.height);
+        w.put_u64(self.count);
+        w.put_u64(self.next_seq);
+        w.put_u64(self.node_bytes as u64);
+        w.put_u32(self.max_fanout as u32);
+        encode_alloc_state(&mut w, &self.pager);
+        let mut image = w.into_bytes();
+        if image.len() as u64 > SUPERBLOCK_BYTES {
+            return Err(KvError::Config("superblock overflow (too many free extents)".into()));
+        }
+        image.resize(SUPERBLOCK_BYTES as usize, 0);
+        self.pager.write_through(0, image).map_err(map_pager)
+    }
+
+    /// Reopen a tree previously [`BeTree::persist`]ed on `device`. The
+    /// config's node size must match; the merge operator is taken from the
+    /// config (it is code, not data).
+    pub fn open(device: SharedDevice, cfg: BeTreeConfig) -> Result<Self, KvError> {
+        let mut pager = Pager::new(device, cfg.cache_bytes, SUPERBLOCK_BYTES);
+        let image = pager.read(0, SUPERBLOCK_BYTES as usize).map_err(map_pager)?;
+        let mut r = Reader::new(&image);
+        let corrupt = |what: String| KvError::Corrupt(format!("superblock: {what}"));
+        let dec = |e: dam_kv::codec::CodecError| corrupt(e.to_string());
+        if r.get_u32().map_err(dec)? != SUPERBLOCK_MAGIC {
+            return Err(corrupt("bad magic (no Be-tree persisted on this device?)".into()));
+        }
+        if r.get_u8().map_err(dec)? != SUPERBLOCK_VERSION {
+            return Err(corrupt("unsupported version".into()));
+        }
+        let root = r.get_u64().map_err(dec)?;
+        let height = r.get_u32().map_err(dec)?;
+        let count = r.get_u64().map_err(dec)?;
+        let next_seq = r.get_u64().map_err(dec)?;
+        let node_bytes = r.get_u64().map_err(dec)?;
+        let max_fanout = r.get_u32().map_err(dec)? as usize;
+        if node_bytes != cfg.node_bytes as u64 {
+            return Err(KvError::Config(format!(
+                "node_bytes mismatch: device has {node_bytes}, config says {}",
+                cfg.node_bytes
+            )));
+        }
+        let (high_water, free) = decode_alloc_state(&mut r).map_err(dec)?;
+        pager.restore_alloc(high_water, free, SUPERBLOCK_BYTES);
+        Ok(BeTree {
+            pager,
+            node_bytes: cfg.node_bytes,
+            max_fanout,
+            merge: cfg.merge,
+            root,
+            height,
+            count,
+            next_seq,
+            last_cost: OpCost::default(),
+        })
+    }
+
+    /// Flush and empty the cache.
+    pub fn drop_cache(&mut self) -> Result<(), KvError> {
+        self.pager.drop_cache().map_err(map_pager)
+    }
+
+    fn read_node(&mut self, id: NodeId) -> Result<BeNode, KvError> {
+        let buf = self.pager.read(id, self.node_bytes).map_err(map_pager)?;
+        BeNode::decode(&buf).map_err(|e| KvError::Corrupt(format!("node {id}: {e}")))
+    }
+
+    fn write_node(&mut self, id: NodeId, node: &BeNode) -> Result<(), KvError> {
+        if node.serialized_size() > self.node_bytes {
+            return Err(KvError::Config(format!(
+                "node image {} exceeds node_bytes {}",
+                node.serialized_size(),
+                self.node_bytes
+            )));
+        }
+        self.pager.write(id, node.encode(self.node_bytes)).map_err(map_pager)
+    }
+
+    fn alloc_node(&mut self) -> Result<NodeId, KvError> {
+        self.pager.alloc(self.node_bytes as u64).map_err(map_pager)
+    }
+
+    // ------------------------------------------------------------------
+    // Leaf application
+    // ------------------------------------------------------------------
+
+    /// Apply `(key, seq)`-sorted messages over sorted entries; returns the
+    /// change in live-key count.
+    fn apply_to_entries(
+        entries: &mut Vec<(Vec<u8>, Vec<u8>)>,
+        msgs: &[Message],
+        merge: &dyn MergeOperator,
+    ) -> i64 {
+        crate::node::apply_msgs_to_entries(entries, msgs, merge)
+    }
+
+    // ------------------------------------------------------------------
+    // Structural maintenance
+    // ------------------------------------------------------------------
+
+    /// Multi-way split of an oversize leaf; the node keeps the first chunk,
+    /// the rest are written to fresh slots. Returns `(pivot, id)` pairs.
+    fn split_leaf(&mut self, node: &mut BeNode) -> Result<Vec<(Vec<u8>, NodeId)>, KvError> {
+        let BeNode::Leaf { entries } = node else { unreachable!() };
+        let target = (self.node_bytes * 3) / 4;
+        let all = std::mem::take(entries);
+        let mut chunks: Vec<Vec<(Vec<u8>, Vec<u8>)>> = Vec::new();
+        let mut cur: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        let mut bytes = NODE_HEADER_BYTES;
+        for (k, v) in all {
+            let sz = LEAF_ENTRY_OVERHEAD + k.len() + v.len();
+            if !cur.is_empty() && bytes + sz > target {
+                chunks.push(std::mem::take(&mut cur));
+                bytes = NODE_HEADER_BYTES;
+            }
+            bytes += sz;
+            cur.push((k, v));
+        }
+        if !cur.is_empty() {
+            chunks.push(cur);
+        }
+        if chunks.len() == 1 {
+            // One entry too large to split further.
+            *entries = chunks.pop().expect("one chunk");
+            if node.serialized_size() > self.node_bytes {
+                return Err(KvError::Config("single entry exceeds node_bytes".into()));
+            }
+            return Ok(vec![]);
+        }
+        let mut iter = chunks.into_iter();
+        *entries = iter.next().expect("at least one chunk");
+        let mut out = Vec::new();
+        for chunk in iter {
+            let pivot = chunk[0].0.clone();
+            let id = self.alloc_node()?;
+            self.write_node(id, &BeNode::Leaf { entries: chunk })?;
+            out.push((pivot, id));
+        }
+        Ok(out)
+    }
+
+    /// Multi-way split of an internal node by per-child byte groups
+    /// (structural + buffer); buffers travel with their children, so no
+    /// draining is needed.
+    fn split_internal(&mut self, node: &mut BeNode) -> Result<Vec<(Vec<u8>, NodeId)>, KvError> {
+        let BeNode::Internal { pivots, children, buffers } = node else { unreachable!() };
+        let n = children.len();
+        if n < 2 {
+            return Err(KvError::Config("cannot split a 1-child internal node".into()));
+        }
+        // Per-child cost: child ptr + buffer + (pivot preceding it).
+        let child_cost: Vec<usize> = (0..n)
+            .map(|i| {
+                8 + buffers[i].iter().map(Message::footprint).sum::<usize>()
+                    + if i > 0 { 4 + pivots[i - 1].len() } else { 0 }
+            })
+            .collect();
+        let target = (self.node_bytes * 3) / 4;
+        // Cap group arity at the target fanout so fanout-triggered splits
+        // produce conforming parts even when every child is tiny.
+        let arity_cap = (self.max_fanout / 2).max(2);
+        let mut groups: Vec<usize> = Vec::new(); // split boundaries (start of each group)
+        groups.push(0);
+        let mut acc = NODE_HEADER_BYTES;
+        for (i, &c) in child_cost.iter().enumerate() {
+            let last = *groups.last().expect("nonempty");
+            if i > last && (acc + c > target || i - last >= arity_cap) {
+                groups.push(i);
+                acc = NODE_HEADER_BYTES;
+            }
+            acc += c;
+        }
+        if groups.len() == 1 {
+            return Err(KvError::Config(
+                "internal node cannot be split into fitting parts (keys/buffers too large)".into(),
+            ));
+        }
+        let old_pivots = std::mem::take(pivots);
+        let old_children = std::mem::take(children);
+        let old_buffers = std::mem::take(buffers);
+        let mut out = Vec::new();
+        for (gi, &start) in groups.iter().enumerate() {
+            let end = groups.get(gi + 1).copied().unwrap_or(n);
+            let part_pivots: Vec<Vec<u8>> = old_pivots[start..end - 1].to_vec();
+            let part_children: Vec<NodeId> = old_children[start..end].to_vec();
+            let part_buffers: Vec<Vec<Message>> = old_buffers[start..end].to_vec();
+            if gi == 0 {
+                *pivots = part_pivots;
+                *children = part_children;
+                *buffers = part_buffers;
+            } else {
+                let pivot = old_pivots[start - 1].clone();
+                let id = self.alloc_node()?;
+                let part = BeNode::Internal {
+                    pivots: part_pivots,
+                    children: part_children,
+                    buffers: part_buffers,
+                };
+                if part.serialized_size() > self.node_bytes {
+                    return Err(KvError::Config("split part still oversize".into()));
+                }
+                self.write_node(id, &part)?;
+                out.push((pivot, id));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Route `(key, seq)`-sorted `msgs` into an internal node's per-child
+    /// buffers.
+    fn route_into_buffers(node: &mut BeNode, msgs: Vec<Message>) {
+        let BeNode::Internal { pivots, buffers, .. } = node else { unreachable!() };
+        let mut idx = 0usize;
+        let mut pending: Vec<Vec<Message>> = vec![Vec::new(); buffers.len()];
+        for m in msgs {
+            while idx < pivots.len() && pivots[idx].as_slice() <= m.key.as_slice() {
+                idx += 1;
+            }
+            // Messages are key-sorted, so idx only moves forward — but a
+            // message for an earlier child can't appear. (Route fresh for
+            // safety if order were violated.)
+            debug_assert!(idx == pivots.partition_point(|p| p.as_slice() <= m.key.as_slice()));
+            pending[idx].push(m);
+        }
+        for (i, p) in pending.into_iter().enumerate() {
+            if !p.is_empty() {
+                let existing = std::mem::take(&mut buffers[i]);
+                buffers[i] = buffer_merge(existing, p);
+            }
+        }
+    }
+
+    /// Deliver messages into the subtree rooted at `id`; returns new right
+    /// siblings for the caller to adopt.
+    fn apply_msgs_to_child(
+        &mut self,
+        id: NodeId,
+        msgs: Vec<Message>,
+    ) -> Result<Vec<(Vec<u8>, NodeId)>, KvError> {
+        let mut node = self.read_node(id)?;
+        match &mut node {
+            BeNode::Leaf { entries } => {
+                let delta = Self::apply_to_entries(entries, &msgs, self.merge.as_ref());
+                self.count = (self.count as i64 + delta) as u64;
+            }
+            BeNode::Internal { .. } => {
+                Self::route_into_buffers(&mut node, msgs);
+            }
+        }
+        self.fix_and_write(id, &mut node)
+    }
+
+    /// Restore invariants on `node`, persist it, and return any new right
+    /// siblings produced by splits.
+    fn fix_and_write(
+        &mut self,
+        id: NodeId,
+        node: &mut BeNode,
+    ) -> Result<Vec<(Vec<u8>, NodeId)>, KvError> {
+        let splits = loop {
+            let size = node.serialized_size();
+            let buffered = node.buffer_bytes();
+            match node {
+                BeNode::Leaf { .. } => {
+                    if size <= self.node_bytes {
+                        break Vec::new();
+                    }
+                    break self.split_leaf(node)?;
+                }
+                BeNode::Internal { children, buffers, .. } => {
+                    let fanout_ok = children.len() <= self.max_fanout;
+                    if size <= self.node_bytes && fanout_ok {
+                        break Vec::new();
+                    }
+                    if !fanout_ok || buffered == 0 {
+                        break self.split_internal(node)?;
+                    }
+                    // Flush the child with the most buffered bytes (§3:
+                    // "typically v is chosen to be the child with the most
+                    // pending messages").
+                    let idx = buffers
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, b)| b.iter().map(Message::footprint).sum::<usize>())
+                        .map(|(i, _)| i)
+                        .expect("internal node has children");
+                    let child_id = children[idx];
+                    let msgs = std::mem::take(&mut buffers[idx]);
+                    let child_splits = self.apply_msgs_to_child(child_id, msgs)?;
+                    let BeNode::Internal { pivots, children, buffers } = node else {
+                        unreachable!()
+                    };
+                    for (off, (pivot, cid)) in child_splits.into_iter().enumerate() {
+                        pivots.insert(idx + off, pivot);
+                        children.insert(idx + 1 + off, cid);
+                        buffers.insert(idx + 1 + off, Vec::new());
+                    }
+                }
+            }
+        };
+        self.write_node(id, node)?;
+        Ok(splits)
+    }
+
+    /// Grow the root when it splits.
+    fn grow_root(&mut self, splits: Vec<(Vec<u8>, NodeId)>) -> Result<(), KvError> {
+        if splits.is_empty() {
+            return Ok(());
+        }
+        let mut pivots = Vec::with_capacity(splits.len());
+        let mut children = vec![self.root];
+        for (p, id) in splits {
+            pivots.push(p);
+            children.push(id);
+        }
+        let buffers = vec![Vec::new(); children.len()];
+        let new_root = self.alloc_node()?;
+        self.write_node(new_root, &BeNode::Internal { pivots, children, buffers })?;
+        self.root = new_root;
+        self.height += 1;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Message entry
+    // ------------------------------------------------------------------
+
+    fn entry_fits(&self, key: &[u8], payload: usize) -> Result<(), KvError> {
+        let need = NODE_HEADER_BYTES + LEAF_ENTRY_OVERHEAD + key.len() + payload;
+        let msg_need = NODE_HEADER_BYTES + 8 + 4 + key.len() + payload + 17;
+        if need.max(msg_need) > self.node_bytes {
+            return Err(KvError::Config(format!(
+                "entry of key {} + payload {} bytes cannot fit in node_bytes {}",
+                key.len(),
+                payload,
+                self.node_bytes
+            )));
+        }
+        Ok(())
+    }
+
+    fn enqueue(&mut self, key: &[u8], op: Operation) -> Result<(), KvError> {
+        self.entry_fits(key, op.payload_len())?;
+        let msg = Message { seq: self.next_seq, key: key.to_vec(), op };
+        self.next_seq += 1;
+        let root = self.root;
+        let mut node = self.read_node(root)?;
+        match &mut node {
+            BeNode::Leaf { entries } => {
+                let delta =
+                    Self::apply_to_entries(entries, std::slice::from_ref(&msg), self.merge.as_ref());
+                self.count = (self.count as i64 + delta) as u64;
+            }
+            BeNode::Internal { .. } => {
+                let idx = node.route(&msg.key);
+                let BeNode::Internal { buffers, .. } = &mut node else { unreachable!() };
+                buffer_insert(&mut buffers[idx], msg);
+            }
+        }
+        let splits = self.fix_and_write(root, &mut node)?;
+        self.grow_root(splits)
+    }
+
+    /// Upsert: merge `delta` into the key's value via the configured
+    /// [`MergeOperator`] — the blind-write fast path WODs exist for.
+    pub fn upsert(&mut self, key: &[u8], delta: &[u8]) -> Result<(), KvError> {
+        let snap = self.pager.snapshot();
+        self.enqueue(key, Operation::Upsert(delta.to_vec()))?;
+        self.finish_op(&snap);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    fn get_inner(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
+        let mut collected: Vec<Message> = Vec::new();
+        let mut id = self.root;
+        loop {
+            let node = self.read_node(id)?;
+            match node {
+                BeNode::Leaf { entries } => {
+                    let base = entries
+                        .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+                        .ok()
+                        .map(|i| entries[i].1.clone());
+                    collected.sort_by_key(|m| m.seq);
+                    return Ok(replay(base.as_deref(), &collected, self.merge.as_ref()));
+                }
+                BeNode::Internal { ref buffers, ref children, .. } => {
+                    let idx = node.route(key);
+                    let buf = &buffers[idx];
+                    let lo = buf.partition_point(|m| m.key.as_slice() < key);
+                    for m in &buf[lo..] {
+                        if m.key.as_slice() != key {
+                            break;
+                        }
+                        collected.push(m.clone());
+                    }
+                    id = children[idx];
+                }
+            }
+        }
+    }
+
+    fn range_rec(
+        &mut self,
+        id: NodeId,
+        start: &[u8],
+        end: &[u8],
+        inherited: Vec<Message>,
+        out: &mut Vec<(Vec<u8>, Vec<u8>)>,
+    ) -> Result<(), KvError> {
+        let node = self.read_node(id)?;
+        match node {
+            BeNode::Leaf { mut entries } => {
+                let delta_unused =
+                    Self::apply_to_entries(&mut entries, &inherited, self.merge.as_ref());
+                let _ = delta_unused; // virtual view; leaf not persisted
+                let lo = entries.partition_point(|(k, _)| k.as_slice() < start);
+                for (k, v) in &entries[lo..] {
+                    if k.as_slice() >= end {
+                        break;
+                    }
+                    out.push((k.clone(), v.clone()));
+                }
+                Ok(())
+            }
+            BeNode::Internal { pivots, children, buffers } => {
+                for (i, &child) in children.iter().enumerate() {
+                    let child_lo = if i == 0 { None } else { Some(pivots[i - 1].as_slice()) };
+                    let child_hi =
+                        if i == pivots.len() { None } else { Some(pivots[i].as_slice()) };
+                    let lower_ok = child_lo.is_none_or(|l| l < end);
+                    let upper_ok = child_hi.is_none_or(|h| h > start);
+                    if !(lower_ok && upper_ok) {
+                        continue;
+                    }
+                    // Messages for this child: inherited ones in range plus
+                    // the child's buffer slice in range.
+                    let slice_in = |msgs: &[Message]| -> Vec<Message> {
+                        msgs.iter()
+                            .filter(|m| {
+                                m.key.as_slice() >= start
+                                    && m.key.as_slice() < end
+                                    && child_lo.is_none_or(|l| m.key.as_slice() >= l)
+                                    && child_hi.is_none_or(|h| m.key.as_slice() < h)
+                            })
+                            .cloned()
+                            .collect()
+                    };
+                    let child_msgs =
+                        buffer_merge(slice_in(&inherited), slice_in(&buffers[i]));
+                    self.range_rec(child, start, end, child_msgs, out)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Drain (exact counting / checkpointing)
+    // ------------------------------------------------------------------
+
+    /// Push every buffered message down to the leaves.
+    pub fn drain_all(&mut self) -> Result<(), KvError> {
+        let root = self.root;
+        let splits = self.drain_rec(root)?;
+        self.grow_root(splits)
+    }
+
+    fn drain_rec(&mut self, id: NodeId) -> Result<Vec<(Vec<u8>, NodeId)>, KvError> {
+        let mut node = self.read_node(id)?;
+        if node.is_leaf() {
+            return Ok(vec![]);
+        }
+        // Flush every nonempty buffer, restarting whenever splits reshuffle
+        // child indices.
+        loop {
+            let BeNode::Internal { children, buffers, .. } = &mut node else { unreachable!() };
+            let Some(idx) = buffers.iter().position(|b| !b.is_empty()) else { break };
+            let child_id = children[idx];
+            let msgs = std::mem::take(&mut buffers[idx]);
+            let child_splits = self.apply_msgs_to_child(child_id, msgs)?;
+            let BeNode::Internal { pivots, children, buffers } = &mut node else { unreachable!() };
+            for (off, (pivot, cid)) in child_splits.into_iter().enumerate() {
+                pivots.insert(idx + off, pivot);
+                children.insert(idx + 1 + off, cid);
+                buffers.insert(idx + 1 + off, Vec::new());
+            }
+        }
+        // Recurse into (now stable) children.
+        let child_ids: Vec<NodeId> = match &node {
+            BeNode::Internal { children, .. } => children.clone(),
+            _ => unreachable!(),
+        };
+        for (i, cid) in child_ids.into_iter().enumerate() {
+            let child_splits = self.drain_rec(cid)?;
+            let BeNode::Internal { pivots, children, buffers } = &mut node else { unreachable!() };
+            for (off, (pivot, ncid)) in child_splits.into_iter().enumerate() {
+                pivots.insert(i + off, pivot);
+                children.insert(i + 1 + off, ncid);
+                buffers.insert(i + 1 + off, Vec::new());
+            }
+        }
+        self.fix_and_write(id, &mut node)
+    }
+
+    // ------------------------------------------------------------------
+    // Bulk load
+    // ------------------------------------------------------------------
+
+    /// Build a tree bottom-up from strictly ascending pairs.
+    pub fn bulk_load(
+        device: SharedDevice,
+        cfg: BeTreeConfig,
+        pairs: impl IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
+    ) -> Result<Self, KvError> {
+        let fanout = cfg.fanout;
+        let bulk_fill = cfg.bulk_fill;
+        let mut tree = BeTree::create(device, cfg)?;
+        let leaf_target = (tree.node_bytes as f64 * bulk_fill) as usize;
+
+        let mut level: Vec<(Vec<u8>, NodeId)> = Vec::new();
+        let mut cur: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        let mut bytes = NODE_HEADER_BYTES;
+        let mut count = 0u64;
+        let mut last: Option<Vec<u8>> = None;
+        for (k, v) in pairs {
+            if let Some(prev) = &last {
+                if *prev >= k {
+                    return Err(KvError::Config("bulk_load input not strictly ascending".into()));
+                }
+            }
+            last = Some(k.clone());
+            tree.entry_fits(&k, v.len())?;
+            let sz = LEAF_ENTRY_OVERHEAD + k.len() + v.len();
+            if !cur.is_empty() && bytes + sz > leaf_target {
+                let id = tree.alloc_node()?;
+                let first = cur[0].0.clone();
+                tree.write_node(id, &BeNode::Leaf { entries: std::mem::take(&mut cur) })?;
+                level.push((first, id));
+                bytes = NODE_HEADER_BYTES;
+            }
+            bytes += sz;
+            cur.push((k, v));
+            count += 1;
+        }
+        if !cur.is_empty() {
+            let id = tree.alloc_node()?;
+            let first = cur[0].0.clone();
+            tree.write_node(id, &BeNode::Leaf { entries: cur })?;
+            level.push((first, id));
+        }
+        if level.is_empty() {
+            return Ok(tree);
+        }
+
+        let mut height = 1u32;
+        while level.len() > 1 {
+            let mut next: Vec<(Vec<u8>, NodeId)> = Vec::new();
+            for group in level.chunks(fanout.max(2)) {
+                let first = group[0].0.clone();
+                let pivots: Vec<Vec<u8>> = group[1..].iter().map(|(k, _)| k.clone()).collect();
+                let children: Vec<NodeId> = group.iter().map(|(_, id)| *id).collect();
+                let buffers = vec![Vec::new(); children.len()];
+                let id = tree.alloc_node()?;
+                tree.write_node(id, &BeNode::Internal { pivots, children, buffers })?;
+                next.push((first, id));
+            }
+            level = next;
+            height += 1;
+        }
+
+        let built_root = level[0].1;
+        tree.pager.free(tree.root, tree.node_bytes as u64);
+        tree.root = built_root;
+        tree.height = height;
+        tree.count = count;
+        tree.flush()?;
+        Ok(tree)
+    }
+
+    // ------------------------------------------------------------------
+    // Invariants (test support)
+    // ------------------------------------------------------------------
+
+    /// Verify structural invariants; returns leaf-entry count.
+    pub fn check_invariants(&mut self) -> Result<u64, KvError> {
+        let root = self.root;
+        let height = self.height;
+        let n = self.check_rec(root, height, None, None)?;
+        if n != self.count {
+            return Err(KvError::Corrupt(format!(
+                "count mismatch: walked {n}, tracked {}",
+                self.count
+            )));
+        }
+        Ok(n)
+    }
+
+    fn check_rec(
+        &mut self,
+        id: NodeId,
+        level: u32,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+    ) -> Result<u64, KvError> {
+        let node = self.read_node(id)?;
+        if node.serialized_size() > self.node_bytes {
+            return Err(KvError::Corrupt(format!("node {id} oversize")));
+        }
+        let in_bounds = |k: &[u8]| -> bool {
+            !(lo.is_some_and(|l| k < l) || hi.is_some_and(|h| k >= h))
+        };
+        match node {
+            BeNode::Leaf { entries } => {
+                if level != 1 {
+                    return Err(KvError::Corrupt(format!("leaf {id} at level {level}")));
+                }
+                for w in entries.windows(2) {
+                    if w[0].0 >= w[1].0 {
+                        return Err(KvError::Corrupt(format!("leaf {id} unsorted")));
+                    }
+                }
+                for (k, _) in &entries {
+                    if !in_bounds(k) {
+                        return Err(KvError::Corrupt(format!("leaf {id} key out of bounds")));
+                    }
+                }
+                Ok(entries.len() as u64)
+            }
+            BeNode::Internal { pivots, children, buffers } => {
+                if level < 2 {
+                    return Err(KvError::Corrupt(format!("internal {id} at leaf level")));
+                }
+                if children.len() != pivots.len() + 1 || buffers.len() != children.len() {
+                    return Err(KvError::Corrupt(format!("internal {id} arity mismatch")));
+                }
+                for w in pivots.windows(2) {
+                    if w[0] >= w[1] {
+                        return Err(KvError::Corrupt(format!("internal {id} pivots unsorted")));
+                    }
+                }
+                for (i, buf) in buffers.iter().enumerate() {
+                    let blo = if i == 0 { lo } else { Some(pivots[i - 1].as_slice()) };
+                    let bhi = if i == pivots.len() { hi } else { Some(pivots[i].as_slice()) };
+                    for w in buf.windows(2) {
+                        if (w[0].key.as_slice(), w[0].seq) >= (w[1].key.as_slice(), w[1].seq) {
+                            return Err(KvError::Corrupt(format!("internal {id} buffer unsorted")));
+                        }
+                    }
+                    for m in buf {
+                        if blo.is_some_and(|l| m.key.as_slice() < l)
+                            || bhi.is_some_and(|h| m.key.as_slice() >= h)
+                        {
+                            return Err(KvError::Corrupt(format!(
+                                "internal {id} buffered message out of child range"
+                            )));
+                        }
+                    }
+                }
+                let mut total = 0u64;
+                for (i, &child) in children.iter().enumerate() {
+                    let clo = if i == 0 { lo } else { Some(pivots[i - 1].as_slice()) };
+                    let chi = if i == pivots.len() { hi } else { Some(pivots[i].as_slice()) };
+                    total += self.check_rec(child, level - 1, clo, chi)?;
+                }
+                Ok(total)
+            }
+        }
+    }
+
+    fn finish_op(&mut self, snap: &dam_cache::CostSnapshot) {
+        let d = self.pager.cost_since(snap);
+        self.last_cost = OpCost {
+            ios: d.ios,
+            bytes_read: d.bytes_read,
+            bytes_written: d.bytes_written,
+            io_time_ns: d.io_time_ns,
+        };
+    }
+}
+
+impl Dictionary for BeTree {
+    fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<(), KvError> {
+        let snap = self.pager.snapshot();
+        self.enqueue(key, Operation::Put(value.to_vec()))?;
+        self.finish_op(&snap);
+        Ok(())
+    }
+
+    fn delete(&mut self, key: &[u8]) -> Result<(), KvError> {
+        let snap = self.pager.snapshot();
+        self.enqueue(key, Operation::Delete)?;
+        self.finish_op(&snap);
+        Ok(())
+    }
+
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
+        let snap = self.pager.snapshot();
+        let r = self.get_inner(key);
+        self.finish_op(&snap);
+        r
+    }
+
+    fn range(&mut self, start: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>, KvError> {
+        let snap = self.pager.snapshot();
+        let mut out = Vec::new();
+        if start < end {
+            let root = self.root;
+            self.range_rec(root, start, end, Vec::new(), &mut out)?;
+        }
+        self.finish_op(&snap);
+        Ok(out)
+    }
+
+    fn last_op_cost(&self) -> OpCost {
+        self.last_cost
+    }
+
+    fn sync(&mut self) -> Result<(), KvError> {
+        let snap = self.pager.snapshot();
+        self.flush()?;
+        self.finish_op(&snap);
+        Ok(())
+    }
+
+    /// Exact live-key count; drains all buffered messages first (O(N) IO).
+    fn len(&mut self) -> Result<u64, KvError> {
+        self.drain_all()?;
+        Ok(self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dam_kv::key_from_u64;
+    use dam_kv::msg::CounterMerge;
+    use dam_storage::{RamDisk, SimDuration};
+
+    fn tree(node_bytes: usize, fanout: usize) -> BeTree {
+        let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 28, SimDuration(1000))));
+        BeTree::create(dev, BeTreeConfig::new(node_bytes, fanout, 1 << 20)).unwrap()
+    }
+
+    fn kv(i: u64) -> (Vec<u8>, Vec<u8>) {
+        (key_from_u64(i).to_vec(), format!("value-{i:08}").into_bytes())
+    }
+
+    #[test]
+    fn empty_tree() {
+        let mut t = tree(1024, 4);
+        assert_eq!(t.get(b"x").unwrap(), None);
+        assert_eq!(t.len().unwrap(), 0);
+        assert!(t.range(b"a", b"z").unwrap().is_empty());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let mut t = tree(1024, 4);
+        for i in 0..50 {
+            let (k, v) = kv(i);
+            t.insert(&k, &v).unwrap();
+        }
+        for i in 0..50 {
+            let (k, v) = kv(i);
+            assert_eq!(t.get(&k).unwrap(), Some(v), "key {i}");
+        }
+        assert_eq!(t.get(&key_from_u64(50)).unwrap(), None);
+    }
+
+    #[test]
+    fn insert_get_through_many_flushes() {
+        let mut t = tree(1024, 4);
+        for i in 0..2000 {
+            let (k, v) = kv(i);
+            t.insert(&k, &v).unwrap();
+        }
+        assert!(t.height() >= 3, "height {}", t.height());
+        t.check_invariants().unwrap();
+        for i in (0..2000).step_by(37) {
+            let (k, v) = kv(i);
+            assert_eq!(t.get(&k).unwrap(), Some(v), "key {i}");
+        }
+        assert_eq!(t.len().unwrap(), 2000);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn random_insertion_order() {
+        let mut t = tree(1024, 4);
+        // Deterministic pseudo-random permutation of 0..1000.
+        let mut keys: Vec<u64> = (0..1000).map(|i| (i * 739) % 1000).collect();
+        keys.dedup();
+        for &i in &keys {
+            let (k, v) = kv(i);
+            t.insert(&k, &v).unwrap();
+        }
+        t.check_invariants().unwrap();
+        for &i in &keys {
+            let (k, v) = kv(i);
+            assert_eq!(t.get(&k).unwrap(), Some(v));
+        }
+    }
+
+    #[test]
+    fn overwrite_latest_wins() {
+        let mut t = tree(1024, 4);
+        let (k, _) = kv(7);
+        for round in 0..100u32 {
+            t.insert(&k, &round.to_le_bytes()).unwrap();
+        }
+        assert_eq!(t.get(&k).unwrap(), Some(99u32.to_le_bytes().to_vec()));
+        assert_eq!(t.len().unwrap(), 1);
+    }
+
+    #[test]
+    fn delete_via_tombstone() {
+        let mut t = tree(1024, 4);
+        for i in 0..500 {
+            let (k, v) = kv(i);
+            t.insert(&k, &v).unwrap();
+        }
+        for i in (0..500).step_by(2) {
+            let (k, _) = kv(i);
+            t.delete(&k).unwrap();
+        }
+        for i in 0..500 {
+            let (k, v) = kv(i);
+            let expect = if i % 2 == 0 { None } else { Some(v) };
+            assert_eq!(t.get(&k).unwrap(), expect, "key {i}");
+        }
+        assert_eq!(t.len().unwrap(), 250);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn delete_everything() {
+        let mut t = tree(1024, 4);
+        for i in 0..300 {
+            let (k, v) = kv(i);
+            t.insert(&k, &v).unwrap();
+        }
+        for i in 0..300 {
+            let (k, _) = kv(i);
+            t.delete(&k).unwrap();
+        }
+        assert_eq!(t.len().unwrap(), 0);
+        for i in 0..300 {
+            let (k, _) = kv(i);
+            assert_eq!(t.get(&k).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn delete_of_absent_key_is_noop() {
+        let mut t = tree(1024, 4);
+        let (k0, v0) = kv(1);
+        t.insert(&k0, &v0).unwrap();
+        t.delete(&key_from_u64(999)).unwrap();
+        assert_eq!(t.len().unwrap(), 1);
+    }
+
+    #[test]
+    fn upsert_counters_accumulate() {
+        let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 28, SimDuration(1000))));
+        let mut cfg = BeTreeConfig::new(1024, 4, 1 << 20);
+        cfg.merge = Box::new(CounterMerge);
+        let mut t = BeTree::create(dev, cfg).unwrap();
+        let (k, _) = kv(3);
+        for _ in 0..10 {
+            t.upsert(&k, &5u64.to_le_bytes()).unwrap();
+        }
+        let got = t.get(&k).unwrap().unwrap();
+        assert_eq!(u64::from_le_bytes(got.try_into().unwrap()), 50);
+    }
+
+    #[test]
+    fn upserts_spanning_flushes() {
+        let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 28, SimDuration(1000))));
+        let mut cfg = BeTreeConfig::new(1024, 4, 1 << 20);
+        cfg.merge = Box::new(CounterMerge);
+        let mut t = BeTree::create(dev, cfg).unwrap();
+        // Interleave hot-key upserts with bulk traffic that forces flushes.
+        let (hot, _) = kv(500);
+        for i in 0..1000 {
+            let (k, v) = kv(i);
+            t.insert(&k, &v).unwrap();
+            if i % 3 == 0 {
+                t.upsert(&hot, &1u64.to_le_bytes()).unwrap();
+            }
+        }
+        let got = t.get(&hot).unwrap().unwrap();
+        let n = u64::from_le_bytes(got[..8].try_into().unwrap());
+        // The Put at i = 500 (seq order!) overwrites the 167 upserts queued
+        // before it; the 167 upserts with i in (500, 999] merge over its
+        // value bytes, which CounterMerge reads as a u64.
+        let base = {
+            let (_, v) = kv(500);
+            let mut a = [0u8; 8];
+            a.copy_from_slice(&v[..8]);
+            u64::from_le_bytes(a)
+        };
+        assert_eq!(n, base.wrapping_add(167));
+    }
+
+    #[test]
+    fn range_sees_through_buffers() {
+        let mut t = tree(2048, 4);
+        // Insert enough that some messages are still buffered high in the
+        // tree, then range over everything.
+        for i in 0..800 {
+            let (k, v) = kv(i);
+            t.insert(&k, &v).unwrap();
+        }
+        let out = t.range(&key_from_u64(100), &key_from_u64(120)).unwrap();
+        assert_eq!(out.len(), 20);
+        for (j, (k, v)) in out.iter().enumerate() {
+            let (ek, ev) = kv(100 + j as u64);
+            assert_eq!((k, v), (&ek, &ev));
+        }
+    }
+
+    #[test]
+    fn range_sees_buffered_deletes() {
+        let mut t = tree(2048, 4);
+        for i in 0..400 {
+            let (k, v) = kv(i);
+            t.insert(&k, &v).unwrap();
+        }
+        t.drain_all().unwrap();
+        // Freshly buffered tombstones, not yet at leaves.
+        for i in 100..110 {
+            let (k, _) = kv(i);
+            t.delete(&k).unwrap();
+        }
+        let out = t.range(&key_from_u64(95), &key_from_u64(115)).unwrap();
+        let keys: Vec<u64> = out.iter().map(|(k, _)| dam_kv::key_to_u64(k).unwrap()).collect();
+        assert_eq!(keys, vec![95, 96, 97, 98, 99, 110, 111, 112, 113, 114]);
+    }
+
+    #[test]
+    fn drain_moves_everything_to_leaves() {
+        let mut t = tree(1024, 4);
+        for i in 0..500 {
+            let (k, v) = kv(i);
+            t.insert(&k, &v).unwrap();
+        }
+        t.drain_all().unwrap();
+        t.check_invariants().unwrap();
+        assert_eq!(t.count, 500, "after drain, all keys live at leaves");
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental() {
+        let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 28, SimDuration(1000))));
+        let pairs: Vec<_> = (0..2000).map(kv).collect();
+        let mut t =
+            BeTree::bulk_load(dev, BeTreeConfig::new(1024, 4, 1 << 20), pairs.clone()).unwrap();
+        t.check_invariants().unwrap();
+        assert_eq!(t.len().unwrap(), 2000);
+        for (k, v) in pairs.iter().step_by(97) {
+            assert_eq!(t.get(k).unwrap().as_ref(), Some(v));
+        }
+        // Mutate after bulk load.
+        for i in 0..100 {
+            let (k, _) = kv(i);
+            t.delete(&k).unwrap();
+        }
+        assert_eq!(t.len().unwrap(), 1900);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn bulk_load_rejects_unsorted() {
+        let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 24, SimDuration(1000))));
+        assert!(matches!(
+            BeTree::bulk_load(dev, BeTreeConfig::new(1024, 4, 1 << 20), vec![kv(2), kv(1)]),
+            Err(KvError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn insert_cost_amortizes_below_btree() {
+        // The write-optimization claim: amortized insert IO (bytes written
+        // per insert) is far below one node write per insert.
+        let mut t = tree(4096, 8);
+        let n = 5000u64;
+        for i in 0..n {
+            let (k, v) = kv((i * 2654435761) % (1 << 30));
+            t.insert(&k, &v).unwrap();
+        }
+        t.flush().unwrap();
+        let written = t.pager().counters().bytes_written;
+        let per_insert = written as f64 / n as f64;
+        // A B-tree would write >= 4096 bytes per insert (whole node) in the
+        // worst case; the betree should amortize to a fraction of a node.
+        assert!(
+            per_insert < 4096.0,
+            "bytes written per insert {per_insert} should be below one node"
+        );
+    }
+
+    #[test]
+    fn cost_accounting_reports_io() {
+        let mut t = tree(1024, 4);
+        for i in 0..1000 {
+            let (k, v) = kv(i);
+            t.insert(&k, &v).unwrap();
+        }
+        t.drop_cache().unwrap();
+        let (k, _) = kv(777);
+        t.get(&k).unwrap();
+        let c = t.last_op_cost();
+        assert!(c.ios as u32 >= t.height() - 1, "cold query should read the path");
+        assert!(c.io_time_ns > 0);
+    }
+
+    #[test]
+    fn persist_and_open_roundtrip() {
+        let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 28, SimDuration(1000))));
+        {
+            let mut t =
+                BeTree::create(dev.clone(), BeTreeConfig::new(1024, 4, 1 << 20)).unwrap();
+            for i in 0..1200 {
+                let (k, v) = kv(i);
+                t.insert(&k, &v).unwrap();
+            }
+            for i in 0..100 {
+                let (k, _) = kv(i * 2);
+                t.delete(&k).unwrap();
+            }
+            t.persist().unwrap();
+        }
+        let mut reopened = BeTree::open(dev, BeTreeConfig::new(1024, 4, 1 << 20)).unwrap();
+        reopened.check_invariants().unwrap();
+        assert_eq!(reopened.len().unwrap(), 1100);
+        for i in 0..1200 {
+            let (k, v) = kv(i);
+            let expect = if i % 2 == 0 && i < 200 { None } else { Some(v) };
+            assert_eq!(reopened.get(&k).unwrap(), expect, "key {i}");
+        }
+        // Sequence numbers keep advancing: a new overwrite beats old state.
+        let (k, _) = kv(500);
+        reopened.insert(&k, b"fresh").unwrap();
+        assert_eq!(reopened.get(&k).unwrap(), Some(b"fresh".to_vec()));
+    }
+
+    #[test]
+    fn open_blank_device_errors() {
+        let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 20, SimDuration(1000))));
+        assert!(matches!(
+            BeTree::open(dev, BeTreeConfig::new(1024, 4, 1 << 16)),
+            Err(KvError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn sqrt_fanout_config() {
+        let cfg = BeTreeConfig::sqrt_fanout(1 << 20, 116, 1 << 20);
+        // B_entries ≈ 9039, F ≈ 96.
+        assert!((90..=100).contains(&cfg.fanout), "fanout {}", cfg.fanout);
+    }
+
+    #[test]
+    fn oversized_entry_rejected() {
+        let mut t = tree(512, 4);
+        assert!(matches!(t.insert(b"k", &vec![0u8; 600]), Err(KvError::Config(_))));
+    }
+}

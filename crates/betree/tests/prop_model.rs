@@ -1,0 +1,270 @@
+//! Property tests: both Bε-tree variants behave exactly like
+//! `std::collections::BTreeMap` under arbitrary operation sequences —
+//! message buffering, flushing, and segment IO are invisible to semantics.
+
+use dam_betree::{BeTree, BeTreeConfig, OptBeTree, OptConfig};
+use dam_kv::{key_from_u64, Dictionary};
+use dam_storage::{RamDisk, SharedDevice, SimDuration};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u8),
+    Delete(u16),
+    Get(u16),
+    Range(u16, u16),
+    Drain,
+    DropCache,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
+        2 => any::<u16>().prop_map(|k| Op::Delete(k % 512)),
+        2 => any::<u16>().prop_map(|k| Op::Get(k % 512)),
+        1 => (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::Range(a % 512, b % 512)),
+        1 => Just(Op::Drain),
+        1 => Just(Op::DropCache),
+    ]
+}
+
+fn value_for(v: u8) -> Vec<u8> {
+    vec![v; 8 + (v as usize % 16)]
+}
+
+fn check_against_model<T: Dictionary>(
+    tree: &mut T,
+    ops: Vec<Op>,
+    drain: impl Fn(&mut T),
+    drop_cache: impl Fn(&mut T),
+) -> Result<BTreeMap<u64, Vec<u8>>, TestCaseError> {
+    let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    for op in ops {
+        match op {
+            Op::Insert(k, v) => {
+                let value = value_for(v);
+                tree.insert(&key_from_u64(k as u64), &value).unwrap();
+                model.insert(k as u64, value);
+            }
+            Op::Delete(k) => {
+                tree.delete(&key_from_u64(k as u64)).unwrap();
+                model.remove(&(k as u64));
+            }
+            Op::Get(k) => {
+                let got = tree.get(&key_from_u64(k as u64)).unwrap();
+                prop_assert_eq!(got.as_ref(), model.get(&(k as u64)));
+            }
+            Op::Range(a, b) => {
+                let (lo, hi) = (a.min(b) as u64, a.max(b) as u64);
+                let got = tree.range(&key_from_u64(lo), &key_from_u64(hi)).unwrap();
+                let expect: Vec<(Vec<u8>, Vec<u8>)> = model
+                    .range(lo..hi)
+                    .map(|(&k, v)| (key_from_u64(k).to_vec(), v.clone()))
+                    .collect();
+                prop_assert_eq!(got, expect);
+            }
+            Op::Drain => drain(tree),
+            Op::DropCache => drop_cache(tree),
+        }
+    }
+    // Final audit: exact count and full scan.
+    prop_assert_eq!(tree.len().unwrap(), model.len() as u64);
+    let all = tree.range(&[], &[0xFF; 17]).unwrap();
+    let expect: Vec<(Vec<u8>, Vec<u8>)> =
+        model.iter().map(|(&k, v)| (key_from_u64(k).to_vec(), v.clone())).collect();
+    prop_assert_eq!(all, expect);
+    Ok(model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn standard_betree_equals_btreemap(
+        ops in prop::collection::vec(op_strategy(), 1..250),
+        node_bytes in prop::sample::select(vec![512usize, 1024, 4096]),
+        fanout in 2usize..8,
+    ) {
+        let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 26, SimDuration(100))));
+        let mut tree =
+            BeTree::create(dev, BeTreeConfig::new(node_bytes, fanout, 1 << 16)).unwrap();
+        check_against_model(
+            &mut tree,
+            ops,
+            |t| t.drain_all().unwrap(),
+            |t| t.drop_cache().unwrap(),
+        )?;
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn opt_betree_equals_btreemap(
+        ops in prop::collection::vec(op_strategy(), 1..250),
+        seg_bytes in prop::sample::select(vec![256usize, 512, 1024]),
+        fanout in 2usize..8,
+    ) {
+        let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 26, SimDuration(100))));
+        let mut tree =
+            OptBeTree::create(dev, OptConfig::new(fanout, seg_bytes, 1 << 16)).unwrap();
+        check_against_model(
+            &mut tree,
+            ops,
+            |t| t.drain_all().unwrap(),
+            |t| t.drop_cache().unwrap(),
+        )?;
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn variants_agree_with_each_other(
+        ops in prop::collection::vec(op_strategy(), 1..150),
+    ) {
+        let dev1 = SharedDevice::new(Box::new(RamDisk::new(1 << 26, SimDuration(100))));
+        let mut std_tree = BeTree::create(dev1, BeTreeConfig::new(1024, 4, 1 << 16)).unwrap();
+        let dev2 = SharedDevice::new(Box::new(RamDisk::new(1 << 26, SimDuration(100))));
+        let mut opt_tree = OptBeTree::create(dev2, OptConfig::new(4, 512, 1 << 16)).unwrap();
+        for op in &ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let value = value_for(*v);
+                    std_tree.insert(&key_from_u64(*k as u64), &value).unwrap();
+                    opt_tree.insert(&key_from_u64(*k as u64), &value).unwrap();
+                }
+                Op::Delete(k) => {
+                    std_tree.delete(&key_from_u64(*k as u64)).unwrap();
+                    opt_tree.delete(&key_from_u64(*k as u64)).unwrap();
+                }
+                Op::Get(k) => {
+                    let a = std_tree.get(&key_from_u64(*k as u64)).unwrap();
+                    let b = opt_tree.get(&key_from_u64(*k as u64)).unwrap();
+                    prop_assert_eq!(a, b);
+                }
+                Op::Range(a, b) => {
+                    let (lo, hi) = ((*a.min(b)) as u64, (*a.max(b)) as u64);
+                    let x = std_tree.range(&key_from_u64(lo), &key_from_u64(hi)).unwrap();
+                    let y = opt_tree.range(&key_from_u64(lo), &key_from_u64(hi)).unwrap();
+                    prop_assert_eq!(x, y);
+                }
+                Op::Drain => {
+                    std_tree.drain_all().unwrap();
+                    opt_tree.drain_all().unwrap();
+                }
+                Op::DropCache => {
+                    std_tree.drop_cache().unwrap();
+                    opt_tree.drop_cache().unwrap();
+                }
+            }
+        }
+        prop_assert_eq!(std_tree.len().unwrap(), opt_tree.len().unwrap());
+    }
+}
+
+// ----------------------------------------------------------------------
+// Upsert semantics under arbitrary flush schedules
+// ----------------------------------------------------------------------
+
+mod upserts {
+    use dam_betree::{BeTree, BeTreeConfig, OptBeTree, OptConfig};
+    use dam_kv::msg::CounterMerge;
+    use dam_kv::{key_from_u64, Dictionary};
+    use dam_storage::{RamDisk, SharedDevice, SimDuration};
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Add(u8, u8),
+        Put(u8, u64),
+        Delete(u8),
+        Get(u8),
+        Drain,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            5 => (any::<u8>(), any::<u8>()).prop_map(|(k, d)| Op::Add(k % 64, d)),
+            2 => (any::<u8>(), any::<u64>()).prop_map(|(k, v)| Op::Put(k % 64, v)),
+            1 => any::<u8>().prop_map(|k| Op::Delete(k % 64)),
+            2 => any::<u8>().prop_map(|k| Op::Get(k % 64)),
+            1 => Just(Op::Drain),
+        ]
+    }
+
+    /// Drive a tree and an exact counter model (Put sets, Add increments
+    /// from 0 when absent, Delete removes) through the same ops.
+    fn run_case<T, U>(mut tree: T, ops: Vec<Op>, upsert: U, drain: impl Fn(&mut T))
+    where
+        T: Dictionary,
+        U: Fn(&mut T, &[u8], u64),
+    {
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Add(k, d) => {
+                    let key = key_from_u64(k as u64);
+                    upsert(&mut tree, &key, d as u64);
+                    *model.entry(k as u64).or_insert(0) =
+                        model.get(&(k as u64)).copied().unwrap_or(0).wrapping_add(d as u64);
+                }
+                Op::Put(k, v) => {
+                    let key = key_from_u64(k as u64);
+                    tree.insert(&key, &v.to_le_bytes()).unwrap();
+                    model.insert(k as u64, v);
+                }
+                Op::Delete(k) => {
+                    tree.delete(&key_from_u64(k as u64)).unwrap();
+                    model.remove(&(k as u64));
+                }
+                Op::Get(k) => {
+                    let got = tree
+                        .get(&key_from_u64(k as u64))
+                        .unwrap()
+                        .map(|v| u64::from_le_bytes(v.try_into().unwrap()));
+                    assert_eq!(got, model.get(&(k as u64)).copied(), "key {k}");
+                }
+                Op::Drain => drain(&mut tree),
+            }
+        }
+        for (&k, &v) in &model {
+            let got = tree
+                .get(&key_from_u64(k))
+                .unwrap()
+                .map(|b| u64::from_le_bytes(b.try_into().unwrap()));
+            assert_eq!(got, Some(v), "final check key {k}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn standard_counter_upserts_match_model(ops in prop::collection::vec(op_strategy(), 1..200)) {
+            let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 26, SimDuration(100))));
+            let mut cfg = BeTreeConfig::new(512, 3, 1 << 16);
+            cfg.merge = Box::new(CounterMerge);
+            let tree = BeTree::create(dev, cfg).unwrap();
+            run_case(
+                tree,
+                ops,
+                |t, k, d| t.upsert(k, &d.to_le_bytes()).unwrap(),
+                |t| t.drain_all().unwrap(),
+            );
+        }
+
+        #[test]
+        fn optimized_counter_upserts_match_model(ops in prop::collection::vec(op_strategy(), 1..200)) {
+            let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 26, SimDuration(100))));
+            let mut cfg = OptConfig::new(3, 384, 1 << 16);
+            cfg.merge = Box::new(CounterMerge);
+            let tree = OptBeTree::create(dev, cfg).unwrap();
+            run_case(
+                tree,
+                ops,
+                |t, k, d| t.upsert(k, &d.to_le_bytes()).unwrap(),
+                |t| t.drain_all().unwrap(),
+            );
+        }
+    }
+
+}

@@ -1,0 +1,23 @@
+//! An on-disk B-tree with a configurable node size, over the simulated
+//! storage stack.
+//!
+//! This is the classic dictionary of §3 ("a balanced search tree with fat
+//! nodes of size B") and the structure whose node-size sensitivity Figure 2
+//! measures with BerkeleyDB. Nodes are serialized to fixed-size device slots
+//! through the write-back [`dam_cache::Pager`], so every operation's IO cost
+//! — count, bytes, and simulated time — is observable per operation.
+//!
+//! Properties maintained:
+//!
+//! * all leaves at the same depth; key-value pairs only in leaves,
+//! * node images never exceed `node_bytes`; overflowing nodes split at the
+//!   byte-balanced midpoint,
+//! * underfull nodes (< ¼ of `node_bytes`, non-root) merge with or borrow
+//!   from a sibling,
+//! * the root collapses when it has a single child.
+
+pub mod node;
+pub mod tree;
+
+pub use node::{Node, NodeId};
+pub use tree::{BTree, BTreeConfig};

@@ -1,0 +1,97 @@
+//! Property tests: the on-disk B-tree behaves exactly like
+//! `std::collections::BTreeMap` under arbitrary operation sequences, while
+//! maintaining its structural invariants.
+
+use dam_btree::{BTree, BTreeConfig};
+use dam_kv::{key_from_u64, Dictionary};
+use dam_storage::{RamDisk, SharedDevice, SimDuration};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u8),
+    Delete(u16),
+    Get(u16),
+    Range(u16, u16),
+    DropCache,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
+        2 => any::<u16>().prop_map(|k| Op::Delete(k % 512)),
+        2 => any::<u16>().prop_map(|k| Op::Get(k % 512)),
+        1 => (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::Range(a % 512, b % 512)),
+        1 => Just(Op::DropCache),
+    ]
+}
+
+fn value_for(v: u8) -> Vec<u8> {
+    vec![v; 10 + (v as usize % 20)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn btree_equals_btreemap(
+        ops in prop::collection::vec(op_strategy(), 1..300),
+        node_bytes in prop::sample::select(vec![256usize, 512, 1024, 4096]),
+    ) {
+        let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 26, SimDuration(100))));
+        let mut tree = BTree::create(dev, BTreeConfig::new(node_bytes, 1 << 16)).unwrap();
+        let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let value = value_for(v);
+                    tree.insert(&key_from_u64(k as u64), &value).unwrap();
+                    model.insert(k as u64, value);
+                }
+                Op::Delete(k) => {
+                    tree.delete(&key_from_u64(k as u64)).unwrap();
+                    model.remove(&(k as u64));
+                }
+                Op::Get(k) => {
+                    let got = tree.get(&key_from_u64(k as u64)).unwrap();
+                    prop_assert_eq!(got.as_ref(), model.get(&(k as u64)));
+                }
+                Op::Range(a, b) => {
+                    let (lo, hi) = (a.min(b) as u64, a.max(b) as u64);
+                    let got = tree.range(&key_from_u64(lo), &key_from_u64(hi)).unwrap();
+                    let expect: Vec<(Vec<u8>, Vec<u8>)> = model
+                        .range(lo..hi)
+                        .map(|(&k, v)| (key_from_u64(k).to_vec(), v.clone()))
+                        .collect();
+                    prop_assert_eq!(got, expect);
+                }
+                Op::DropCache => tree.drop_cache().unwrap(),
+            }
+        }
+
+        // Final full audit.
+        prop_assert_eq!(tree.check_invariants().unwrap(), model.len() as u64);
+        prop_assert_eq!(tree.len().unwrap(), model.len() as u64);
+        let all = tree.range(&[], &[0xFF; 17]).unwrap();
+        let expect: Vec<(Vec<u8>, Vec<u8>)> =
+            model.iter().map(|(&k, v)| (key_from_u64(k).to_vec(), v.clone())).collect();
+        prop_assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn bulk_load_equals_map(keys in prop::collection::btree_set(any::<u32>(), 0..500)) {
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = keys
+            .iter()
+            .map(|&k| (key_from_u64(k as u64).to_vec(), value_for(k as u8)))
+            .collect();
+        let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 26, SimDuration(100))));
+        let mut tree = BTree::bulk_load(dev, BTreeConfig::new(512, 1 << 16), pairs.clone()).unwrap();
+        prop_assert_eq!(tree.check_invariants().unwrap(), pairs.len() as u64);
+        for (k, v) in &pairs {
+            let got = tree.get(k).unwrap();
+            prop_assert_eq!(got.as_ref(), Some(v));
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Device-space allocator for node images.
+//!
+//! Bump allocation with per-size free lists: trees allocate fixed-size node
+//! slots, free them on merge/rebuild, and reuse freed slots before growing
+//! the high-water mark. Placement is deliberately naive — node placement
+//! *scatter* is one of the phenomena the affine model prices in (aged
+//! B-trees pay full seeks between logically adjacent leaves).
+
+use std::collections::BTreeMap;
+
+/// Space allocator over a device's byte range.
+#[derive(Debug)]
+pub struct Allocator {
+    capacity: u64,
+    next: u64,
+    free_lists: BTreeMap<u64, Vec<u64>>,
+    live_bytes: u64,
+}
+
+impl Allocator {
+    /// Allocator over `[reserved, capacity)`. The reserved prefix typically
+    /// holds a superblock.
+    pub fn new(capacity: u64, reserved: u64) -> Self {
+        assert!(reserved <= capacity);
+        Allocator { capacity, next: reserved, free_lists: BTreeMap::new(), live_bytes: 0 }
+    }
+
+    /// Allocate `len` bytes; returns the offset, or `None` when the device
+    /// is full.
+    pub fn alloc(&mut self, len: u64) -> Option<u64> {
+        assert!(len > 0, "zero-length allocation");
+        if let Some(list) = self.free_lists.get_mut(&len) {
+            if let Some(off) = list.pop() {
+                if list.is_empty() {
+                    self.free_lists.remove(&len);
+                }
+                self.live_bytes += len;
+                return Some(off);
+            }
+        }
+        if self.next.checked_add(len)? <= self.capacity {
+            let off = self.next;
+            self.next += len;
+            self.live_bytes += len;
+            Some(off)
+        } else {
+            None
+        }
+    }
+
+    /// Return a previously allocated extent to the per-size free list.
+    pub fn free(&mut self, offset: u64, len: u64) {
+        assert!(len > 0);
+        assert!(offset + len <= self.next, "freeing unallocated space");
+        self.free_lists.entry(len).or_default().push(offset);
+        self.live_bytes = self.live_bytes.saturating_sub(len);
+    }
+
+    /// Bytes currently allocated and not freed.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// High-water mark: one past the last byte ever allocated.
+    pub fn high_water(&self) -> u64 {
+        self.next
+    }
+
+    /// Total bytes sitting on free lists.
+    pub fn free_list_bytes(&self) -> u64 {
+        self.free_lists.iter().map(|(len, v)| len * v.len() as u64).sum()
+    }
+
+    /// Export the allocator state for a superblock: the high-water mark and
+    /// every free-list extent as `(len, offsets)`.
+    pub fn export_state(&self) -> (u64, Vec<(u64, Vec<u64>)>) {
+        (
+            self.next,
+            self.free_lists.iter().map(|(&len, offs)| (len, offs.clone())).collect(),
+        )
+    }
+
+    /// Restore allocator state captured by [`Allocator::export_state`].
+    /// Recomputes `live_bytes` as high-water minus reserved minus freed.
+    pub fn restore_state(&mut self, high_water: u64, free: Vec<(u64, Vec<u64>)>, reserved: u64) {
+        assert!(high_water >= reserved && high_water <= self.capacity);
+        self.next = high_water;
+        self.free_lists = free.into_iter().filter(|(_, v)| !v.is_empty()).collect();
+        let freed: u64 = self.free_list_bytes();
+        self.live_bytes = (high_water - reserved).saturating_sub(freed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_allocates_disjoint_extents() {
+        let mut a = Allocator::new(1000, 100);
+        let x = a.alloc(50).unwrap();
+        let y = a.alloc(50).unwrap();
+        assert_eq!(x, 100);
+        assert_eq!(y, 150);
+        assert_eq!(a.live_bytes(), 100);
+    }
+
+    #[test]
+    fn freed_extents_are_reused() {
+        let mut a = Allocator::new(1000, 0);
+        let x = a.alloc(64).unwrap();
+        let _y = a.alloc(64).unwrap();
+        a.free(x, 64);
+        assert_eq!(a.free_list_bytes(), 64);
+        let z = a.alloc(64).unwrap();
+        assert_eq!(z, x, "same-size allocation should reuse the freed slot");
+        assert_eq!(a.free_list_bytes(), 0);
+    }
+
+    #[test]
+    fn different_sizes_use_different_lists() {
+        let mut a = Allocator::new(1000, 0);
+        let x = a.alloc(64).unwrap();
+        a.free(x, 64);
+        let y = a.alloc(32).unwrap();
+        assert_ne!(y, x, "different size must not grab the 64-byte slot");
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut a = Allocator::new(100, 0);
+        assert!(a.alloc(60).is_some());
+        assert!(a.alloc(60).is_none());
+        assert!(a.alloc(40).is_some());
+        assert!(a.alloc(1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing unallocated space")]
+    fn freeing_above_high_water_panics() {
+        let mut a = Allocator::new(1000, 0);
+        a.free(500, 10);
+    }
+
+    #[test]
+    fn live_bytes_track_alloc_free() {
+        let mut a = Allocator::new(1000, 0);
+        let x = a.alloc(100).unwrap();
+        assert_eq!(a.live_bytes(), 100);
+        a.free(x, 100);
+        assert_eq!(a.live_bytes(), 0);
+        assert_eq!(a.high_water(), 100);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests: the pager is a faithful cache — arbitrary operation
+//! sequences read back exactly what was written, and the byte budget is
+//! never exceeded.
+
+use dam_cache::Pager;
+use dam_storage::{RamDisk, SharedDevice, SimDuration};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(u8, u8),   // slot index, fill byte
+    Read(u8),        // slot index
+    Free(u8),        // slot index
+    Flush,
+    DropCache,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u8>(), any::<u8>()).prop_map(|(s, b)| Op::Write(s % 16, b)),
+        4 => any::<u8>().prop_map(|s| Op::Read(s % 16)),
+        1 => any::<u8>().prop_map(|s| Op::Free(s % 16)),
+        1 => Just(Op::Flush),
+        1 => Just(Op::DropCache),
+    ]
+}
+
+const OBJ: usize = 100;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pager_matches_model(ops in prop::collection::vec(op_strategy(), 1..200), budget in 150u64..2000) {
+        let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 20, SimDuration(100))));
+        let mut pager = Pager::new(dev, budget, 0);
+        // Model: slot -> (offset, expected fill byte).
+        let mut model: HashMap<u8, (u64, u8)> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Write(slot, byte) => {
+                    let off = match model.get(&slot) {
+                        Some(&(off, _)) => off,
+                        None => pager.alloc(OBJ as u64).unwrap(),
+                    };
+                    pager.write(off, vec![byte; OBJ]).unwrap();
+                    model.insert(slot, (off, byte));
+                }
+                Op::Read(slot) => {
+                    if let Some(&(off, byte)) = model.get(&slot) {
+                        let data = pager.read(off, OBJ).unwrap();
+                        prop_assert_eq!(data, vec![byte; OBJ]);
+                    }
+                }
+                Op::Free(slot) => {
+                    if let Some((off, _)) = model.remove(&slot) {
+                        pager.free(off, OBJ as u64);
+                    }
+                }
+                Op::Flush => pager.flush().unwrap(),
+                Op::DropCache => pager.drop_cache().unwrap(),
+            }
+            prop_assert!(pager.used() <= pager.budget(), "budget exceeded: {} > {}", pager.used(), pager.budget());
+        }
+
+        // Everything still reads back after a final cold restart of the cache.
+        pager.drop_cache().unwrap();
+        for (&_slot, &(off, byte)) in &model {
+            let data = pager.read(off, OBJ).unwrap();
+            prop_assert_eq!(data, vec![byte; OBJ]);
+        }
+    }
+
+    #[test]
+    fn sub_reads_always_coherent(
+        writes in prop::collection::vec((0usize..4, any::<u8>()), 1..30),
+        drop_points in prop::collection::vec(any::<bool>(), 1..30),
+    ) {
+        // One 400-byte object of 4 100-byte segments; interleave whole-object
+        // writes with segment reads and cache drops; segment reads must always
+        // see the latest write.
+        let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 16, SimDuration(10))));
+        let mut pager = Pager::new(dev, 1 << 12, 0);
+        let base = pager.alloc(400).unwrap();
+        let mut current = vec![0u8; 400];
+        pager.write(base, current.clone()).unwrap();
+        for ((seg, byte), drop) in writes.into_iter().zip(drop_points.into_iter().cycle()) {
+            //
+
+            current[seg * 100..(seg + 1) * 100].fill(byte);
+            pager.write(base, current.clone()).unwrap();
+            if drop {
+                pager.drop_cache().unwrap();
+            }
+            let got = pager.read_within(base, 400, seg * 100, 100).unwrap();
+            prop_assert_eq!(got, current[seg * 100..(seg + 1) * 100].to_vec());
+            // And a different segment also matches.
+            let other = (seg + 1) % 4;
+            let got = pager.read_within(base, 400, other * 100, 100).unwrap();
+            prop_assert_eq!(got, current[other * 100..(other + 1) * 100].to_vec());
+        }
+    }
+}

@@ -1,0 +1,463 @@
+//! Subcommand implementations. Each returns the text to print, so the test
+//! suite can drive the whole CLI in-process.
+
+use crate::args::{Args, CliError};
+use dam_bench::{experiments, Scale};
+use refined_dam::prelude::*;
+use refined_dam::profiler::{fig1_thread_counts, table2_io_sizes};
+use refined_dam::storage::profiles;
+use refined_dam::storage::{HddProfile, SsdProfile};
+use std::fmt::Write as _;
+
+/// A named device: either kind of profile.
+enum Device {
+    Hdd(HddProfile),
+    Ssd(SsdProfile),
+}
+
+fn device_catalog() -> Vec<(&'static str, Device)> {
+    vec![
+        ("seagate-2tb-2002", Device::Hdd(profiles::seagate_2tb_2002())),
+        ("seagate-250gb-2006", Device::Hdd(profiles::seagate_250gb_2006())),
+        ("hitachi-1tb-2009", Device::Hdd(profiles::hitachi_1tb_2009())),
+        ("wd-black-1tb-2011", Device::Hdd(profiles::wd_black_1tb_2011())),
+        ("wd-red-6tb-2018", Device::Hdd(profiles::wd_red_6tb_2018())),
+        ("toshiba-dt01aca050", Device::Hdd(profiles::toshiba_dt01aca050())),
+        ("samsung-860-pro", Device::Ssd(profiles::samsung_860_pro())),
+        ("samsung-970-pro", Device::Ssd(profiles::samsung_970_pro())),
+        ("silicon-power-s55", Device::Ssd(profiles::silicon_power_s55())),
+        ("sandisk-ultra-ii", Device::Ssd(profiles::sandisk_ultra_ii())),
+        ("samsung-860-evo", Device::Ssd(profiles::samsung_860_evo())),
+    ]
+}
+
+fn find_device(name: &str) -> Result<Device, CliError> {
+    device_catalog()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, d)| d)
+        .ok_or_else(|| {
+            CliError::Usage(format!("unknown device '{name}'; run 'damlab devices' for the list"))
+        })
+}
+
+/// `damlab help`.
+pub fn help() -> String {
+    "damlab — the refined-DAM toolkit (SPAA '19 reproduction)\n\
+     \n\
+     commands:\n\
+     \x20 devices                              list simulated device profiles\n\
+     \x20 profile --device <name>              run the §4 microbenchmark + model fit\n\
+     \x20 tune    --device <name> | --alpha-4k <a>   node-size/fanout recommendations\n\
+     \x20 run     --structure <s> --device <d> [--node-kb N] [--keys N] [--ops N]\n\
+     \x20                                      load a dictionary, measure per-op costs\n\
+     \x20         structures: btree | betree | optbetree | lsm\n\
+     \x20 experiment <name>                    regenerate a paper table/figure\n\
+     \x20 experiment list                      list experiment names\n"
+        .to_string()
+}
+
+/// `damlab devices`.
+pub fn devices() -> String {
+    let mut out = String::new();
+    writeln!(out, "{:<22} {:<5} details", "name", "kind").unwrap();
+    for (name, dev) in device_catalog() {
+        match dev {
+            Device::Hdd(p) => writeln!(
+                out,
+                "{:<22} {:<5} s={:.4}s t={:.6}s/4K alpha={:.4}/4K",
+                name,
+                "hdd",
+                p.expected_setup_s(),
+                p.expected_seconds_per_byte() * 4096.0,
+                p.alpha_per_byte() * 4096.0
+            )
+            .unwrap(),
+            Device::Ssd(p) => writeln!(
+                out,
+                "{:<22} {:<5} P={:.1} bus={:.0}MB/s",
+                name,
+                "ssd",
+                p.effective_p(64 * 1024),
+                p.saturated_read_rate() / 1e6
+            )
+            .unwrap(),
+        }
+    }
+    out
+}
+
+/// `damlab profile --device <name>`.
+pub fn profile(args: &Args) -> Result<String, CliError> {
+    let name = args.require("device")?;
+    let seed = args.get_u64("seed", 7)?;
+    match find_device(name)? {
+        Device::Hdd(p) => {
+            let report = profile_affine(
+                || Box::new(HddDevice::new(p.clone(), seed)),
+                &table2_io_sizes(),
+                args.get_u64("reads", 64)?,
+                seed,
+            )
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
+            Ok(format!(
+                "{name} (affine fit over {} IO sizes):\n  s = {:.4} s (se {:.2e})\n  t = {:.6} s/4KiB (se {:.2e})\n  alpha = {:.4} /4KiB\n  R^2 = {:.4}\n",
+                report.series.len(),
+                report.setup_s,
+                report.fit.intercept_se,
+                report.t_per_4k,
+                report.fit.slope_se * 4096.0,
+                report.alpha_per_4k,
+                report.r2
+            ))
+        }
+        Device::Ssd(p) => {
+            let report = profile_pdam(
+                || Box::new(SsdDevice::new(p.clone())),
+                &fig1_thread_counts(),
+                args.get_u64("ios", 300)?,
+                64 * 1024,
+                seed,
+            )
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
+            Ok(format!(
+                "{name} (PDAM fit over threads 1..64):\n  P = {:.1}\n  saturation = {:.0} MB/s\n  R^2 = {:.4}\n",
+                report.p,
+                report.saturation_bytes_s / 1e6,
+                report.r2
+            ))
+        }
+    }
+}
+
+/// `damlab tune --device <name> | --alpha-4k <a>`.
+pub fn tune(args: &Args) -> Result<String, CliError> {
+    let alpha_per_byte = if let Some(a4k) = args.get_f64("alpha-4k")? {
+        if a4k <= 0.0 {
+            return Err(CliError::Usage("--alpha-4k must be positive".into()));
+        }
+        a4k / 4096.0
+    } else {
+        let name = args.require("device").map_err(|_| {
+            CliError::Usage("tune needs --device <name> or --alpha-4k <a>".into())
+        })?;
+        match find_device(name)? {
+            Device::Hdd(p) => p.alpha_per_byte(),
+            Device::Ssd(_) => {
+                return Err(CliError::Usage(
+                    "tune targets affine (HDD) devices; for SSDs see 'profile' and §8's PB sizing"
+                        .into(),
+                ))
+            }
+        }
+    };
+    let n_keys = args.get_u64("keys", 2_000_000_000)? as f64;
+    let cache_mb = args.get_u64("cache-mb", 4096)? as f64;
+    let entry = args.get_u64("entry-bytes", 116)? as f64;
+    let shape = DictShape::new(n_keys, cache_mb * 1e6 / entry, entry, 24.0);
+    let affine = Affine::new(alpha_per_byte);
+    let t = tune_for_affine(&affine, &shape);
+    Ok(format!(
+        "alpha = {:.3e}/byte ({:.4}/4KiB)\n\
+         Cor 6  half-bandwidth point:      {:.0} KiB\n\
+         Cor 7  B-tree point-op node size: {:.0} KiB\n\
+         Cor 12 Be-tree fanout:            {:.0}\n\
+         Cor 12 Be-tree node size:         {:.1} MiB\n\
+         predicted insert speedup:         {:.1}x\n",
+        affine.alpha,
+        affine.alpha * 4096.0,
+        t.btree_all_ops_node_bytes / 1024.0,
+        t.btree_point_node_bytes / 1024.0,
+        t.betree_fanout,
+        t.betree_node_bytes / (1u64 << 20) as f64,
+        t.insert_speedup
+    ))
+}
+
+/// `damlab run --structure <s> --device <d> ...`.
+pub fn run_workload(args: &Args) -> Result<String, CliError> {
+    let structure = args.require("structure")?.to_string();
+    let device_name = args.require("device")?;
+    let node_kb = args.get_u64("node-kb", 256)?;
+    let keys = args.get_u64("keys", 100_000)?;
+    let ops = args.get_u64("ops", 200)?;
+    let cache_mb = args.get_u64("cache-mb", 4)?;
+    let seed = args.get_u64("seed", 0xDA4)?;
+
+    let device = match find_device(device_name)? {
+        Device::Hdd(p) => SharedDevice::new(Box::new(HddDevice::new(p, seed))),
+        Device::Ssd(p) => SharedDevice::new(Box::new(SsdDevice::new(p))),
+    };
+    let node_bytes = (node_kb * 1024) as usize;
+    let cache = cache_mb << 20;
+    let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..keys)
+        .map(|i| (refined_dam::kv::key_from_u64(2 * i).to_vec(), vec![(i % 251) as u8; 100]))
+        .collect();
+
+    let map_err = |e: KvError| CliError::Runtime(e.to_string());
+    let mut dict: Box<dyn Dictionary> = match structure.as_str() {
+        "btree" => Box::new(
+            BTree::bulk_load(device, BTreeConfig::new(node_bytes, cache), pairs).map_err(map_err)?,
+        ),
+        "betree" => Box::new(
+            BeTree::bulk_load(device, BeTreeConfig::sqrt_fanout(node_bytes, 124, cache), pairs)
+                .map_err(map_err)?,
+        ),
+        "optbetree" => Box::new(
+            OptBeTree::bulk_load(device, OptConfig::balanced(node_bytes, 124, cache), pairs)
+                .map_err(map_err)?,
+        ),
+        "lsm" => {
+            let mut t =
+                LsmTree::create(device, LsmConfig::new(node_bytes, cache)).map_err(map_err)?;
+            let n = pairs.len() as u64;
+            let stride = 982_451_653u64;
+            for j in 0..n {
+                let (k, v) = &pairs[((j.wrapping_mul(stride)) % n) as usize];
+                t.insert(k, v).map_err(map_err)?;
+            }
+            t.sync().map_err(map_err)?;
+            Box::new(t)
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown structure '{other}' (btree | betree | optbetree | lsm)"
+            )))
+        }
+    };
+
+    let scale = Scale {
+        n_keys: keys,
+        value_bytes: 100,
+        cache_bytes: cache,
+        ops,
+        ..Scale::default()
+    };
+    let (query_ms, insert_ms) = experiments::measure_phases(dict.as_mut(), &scale);
+    Ok(format!(
+        "{structure} on {device_name}: {keys} keys, {node_kb} KiB nodes, {cache_mb} MiB cache\n\
+         \x20 query:  {query_ms:.3} simulated ms/op\n\
+         \x20 insert: {insert_ms:.3} simulated ms/op (amortized, incl. sync)\n"
+    ))
+}
+
+/// `damlab experiment <name>`.
+pub fn experiment(args: &Args) -> Result<String, CliError> {
+    let name = args
+        .positional
+        .as_deref()
+        .ok_or_else(|| CliError::Usage("experiment needs a name; try 'experiment list'".into()))?;
+    let mut scale = Scale::from_env();
+    if let Some(seed) = args.get_f64("seed")? {
+        scale.seed = seed as u64;
+    }
+    let known = [
+        "list", "fig1", "table1", "table2", "table3", "fig2", "fig3", "lemma1", "thm9",
+        "lemma13", "optima", "writeamp", "lsm", "wod", "aging", "oltp-olap",
+    ];
+    let out = match name {
+        "list" => format!("experiments: {}\n", known[1..].join(", ")),
+        "fig1" | "table1" => {
+            let rows = experiments::fig1_and_table1(&scale);
+            let mut s = String::new();
+            for r in rows {
+                writeln!(s, "{}: P={:.1} sat={:.0}MB/s R2={:.3}", r.device, r.p, r.saturation_mb_s, r.r2)
+                    .unwrap();
+            }
+            s
+        }
+        "table2" => {
+            let mut s = String::new();
+            for r in experiments::table2(&scale) {
+                writeln!(s, "{}: s={:.4} t={:.6} alpha={:.4} R2={:.4}", r.disk, r.s, r.t_per_4k, r.alpha, r.r2)
+                    .unwrap();
+            }
+            s
+        }
+        "table3" => {
+            let r = experiments::table3();
+            format!(
+                "growth from 1/alpha to 64x: btree {:.1}x, betree insert {:.1}x, betree query {:.1}x\n",
+                r.summary.btree_growth, r.summary.betree_insert_growth, r.summary.betree_query_growth
+            )
+        }
+        "fig2" => rows_node_size(&experiments::fig2(&scale)),
+        "fig3" => rows_node_size(&experiments::fig3(&scale)),
+        "lemma1" => {
+            let mut s = String::new();
+            for r in experiments::lemma1(&scale) {
+                writeln!(s, "{}: dam/affine = {:.3} (holds: {})", r.trace, r.error_factor, r.holds)
+                    .unwrap();
+            }
+            s
+        }
+        "thm9" => {
+            let mut s = String::new();
+            for r in experiments::thm9_ablation(&scale) {
+                writeln!(s, "{}: query {:.2}ms insert {:.3}ms bytes/q {:.0}", r.variant, r.query_ms, r.insert_ms, r.query_bytes).unwrap();
+            }
+            s
+        }
+        "lemma13" => {
+            let mut s = String::new();
+            for r in experiments::lemma13(&scale) {
+                writeln!(s, "k={}: veb {:.3} sorted {:.3} small {:.3}", r.clients, r.fat_veb, r.fat_sorted, r.small_nodes).unwrap();
+            }
+            s
+        }
+        "optima" => {
+            let mut s = String::new();
+            for r in experiments::corollary_optima() {
+                writeln!(s, "{}: 1/a={:.0}KiB btree={:.0}KiB F={:.0} Be={:.0}MiB speedup={:.1}x",
+                    r.disk, r.half_bandwidth/1024.0, r.btree_point/1024.0, r.betree_fanout,
+                    r.betree_node/(1<<20) as f64, r.insert_speedup).unwrap();
+            }
+            s
+        }
+        "writeamp" => {
+            let mut s = String::new();
+            for r in experiments::write_amp(&scale) {
+                writeln!(s, "{}: measured {:.1} model {:.1}", r.structure, r.measured, r.predicted).unwrap();
+            }
+            s
+        }
+        "lsm" => {
+            let mut s = String::new();
+            for r in experiments::lsm_sstable_size(&scale) {
+                writeln!(s, "{}KiB: query {:.2}ms insert {:.3}ms WA {:.1}", r.sstable_bytes/1024, r.query_ms, r.insert_ms, r.write_amp).unwrap();
+            }
+            s
+        }
+        "wod" => {
+            let mut s = String::new();
+            for r in experiments::wod_comparison(&scale) {
+                writeln!(s, "{}: query {:.2}ms insert {:.3}ms range {:.2}ms", r.structure, r.query_ms, r.insert_ms, r.range_ms).unwrap();
+            }
+            s
+        }
+        "aging" => {
+            let mut s = String::new();
+            for r in experiments::aging(&scale) {
+                writeln!(s, "{}: scan {:.1} MB/s, point {:.2} ms", r.state, r.scan_mb_s, r.point_ms).unwrap();
+            }
+            s
+        }
+        "oltp-olap" => {
+            let mut s = String::new();
+            for r in experiments::oltp_olap(&scale) {
+                writeln!(s, "{}KiB: point {:.2}ms scan {:.1}MB/s", r.node_bytes/1024, r.point_ms, r.scan_mb_s).unwrap();
+            }
+            s
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown experiment '{other}'; known: {}",
+                known[1..].join(", ")
+            )))
+        }
+    };
+    Ok(out)
+}
+
+fn rows_node_size(rows: &[experiments::NodeSizePoint]) -> String {
+    let mut s = String::new();
+    for r in rows {
+        writeln!(
+            s,
+            "{}KiB: query {:.2}ms insert {:.3}ms",
+            r.node_bytes / 1024,
+            r.query_ms,
+            r.insert_ms
+        )
+        .unwrap();
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn run(s: &str) -> Result<String, CliError> {
+        crate::run(&argv(s))
+    }
+
+    #[test]
+    fn help_and_devices() {
+        assert!(run("help").unwrap().contains("damlab"));
+        let d = run("devices").unwrap();
+        assert!(d.contains("wd-black-1tb-2011"));
+        assert!(d.contains("samsung-860-pro"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(matches!(run("frobnicate"), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn profile_hdd_outputs_fit() {
+        let out = run("profile --device wd-black-1tb-2011 --reads 16").unwrap();
+        assert!(out.contains("alpha ="), "{out}");
+        assert!(out.contains("R^2"), "{out}");
+    }
+
+    #[test]
+    fn profile_ssd_outputs_p() {
+        let out = run("profile --device samsung-860-pro --ios 100").unwrap();
+        assert!(out.contains("P = "), "{out}");
+    }
+
+    #[test]
+    fn profile_unknown_device_errors() {
+        assert!(matches!(run("profile --device floppy"), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn tune_from_device_and_alpha() {
+        let a = run("tune --device wd-black-1tb-2011").unwrap();
+        assert!(a.contains("Cor 12"), "{a}");
+        let b = run("tune --alpha-4k 0.0029").unwrap();
+        assert!(b.contains("half-bandwidth"), "{b}");
+        assert!(matches!(run("tune"), Err(CliError::Usage(_))));
+        assert!(matches!(run("tune --device samsung-860-pro"), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn run_workload_all_structures() {
+        for s in ["btree", "betree", "optbetree", "lsm"] {
+            let out = run(&format!(
+                "run --structure {s} --device toshiba-dt01aca050 --keys 5000 --ops 20 --node-kb 64"
+            ))
+            .unwrap();
+            assert!(out.contains("query:"), "{s}: {out}");
+            assert!(out.contains("insert:"), "{s}: {out}");
+        }
+    }
+
+    #[test]
+    fn run_workload_bad_structure_errors() {
+        assert!(matches!(
+            run("run --structure skiplist --device toshiba-dt01aca050"),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn experiment_list_and_unknown() {
+        let out = run("experiment list").unwrap();
+        assert!(out.contains("table2"));
+        assert!(matches!(run("experiment nope"), Err(CliError::Usage(_))));
+        assert!(matches!(run("experiment"), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn experiment_table3_runs() {
+        let out = run("experiment table3").unwrap();
+        assert!(out.contains("growth"), "{out}");
+    }
+}

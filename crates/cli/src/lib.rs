@@ -1,0 +1,36 @@
+//! `damlab` — the command-line front end to the refined-DAM toolkit.
+//!
+//! Subcommands:
+//!
+//! * `damlab devices` — list the simulated device profiles,
+//! * `damlab profile --device <name>` — run the §4 microbenchmark for the
+//!   device's class and print the fitted model parameters,
+//! * `damlab tune --device <name> [--keys N] [--cache-mb M]` — turn a
+//!   fitted `α` into node-size / fanout recommendations (Corollaries 6, 7,
+//!   12),
+//! * `damlab run --structure <btree|betree|optbetree|lsm> --device <name>
+//!   [--node-kb N] [--keys N] [--ops N]` — load a dictionary and measure
+//!   per-op costs,
+//! * `damlab experiment <name>` — regenerate a paper table/figure
+//!   (`table1`, `table2`, `fig2`, … — see `damlab experiment list`).
+//!
+//! The argument parser is deliberately dependency-free; see [`args`].
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Args, CliError};
+
+/// Entry point shared by the binary and the tests.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(argv)?;
+    match args.command.as_str() {
+        "devices" => Ok(commands::devices()),
+        "profile" => commands::profile(&args),
+        "tune" => commands::tune(&args),
+        "run" => commands::run_workload(&args),
+        "experiment" => commands::experiment(&args),
+        "help" | "" => Ok(commands::help()),
+        other => Err(CliError::Usage(format!("unknown command '{other}'; try 'damlab help'"))),
+    }
+}

@@ -1,0 +1,259 @@
+//! §4's microbenchmarks: run them against any simulated device and fit the
+//! affine / PDAM models, reproducing the methodology behind Tables 1 and 2.
+
+use dam_stats::{fit_flat_then_linear, fit_line, FlatThenLinearFit, LinearFit, StatsError};
+use dam_storage::{run_closed_loop, BlockDevice, ClosedLoopConfig, IoError};
+use serde::{Deserialize, Serialize};
+
+/// Profiling failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileError {
+    /// The device rejected an IO.
+    Io(String),
+    /// The measurements could not be fitted.
+    Fit(String),
+}
+
+impl From<IoError> for ProfileError {
+    fn from(e: IoError) -> Self {
+        ProfileError::Io(e.to_string())
+    }
+}
+
+impl From<StatsError> for ProfileError {
+    fn from(e: StatsError) -> Self {
+        ProfileError::Fit(e.to_string())
+    }
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::Io(s) => write!(f, "profiling io error: {s}"),
+            ProfileError::Fit(s) => write!(f, "profiling fit error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+/// Result of the §4.1 PDAM benchmark: the Figure 1 series and the Table 1
+/// row derived from it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PdamProfile {
+    /// `(threads, makespan seconds)` — the Figure 1 curve.
+    pub series: Vec<(usize, f64)>,
+    /// The segmented (flat-then-linear) fit.
+    pub fit: FlatThenLinearFit,
+    /// Fitted device parallelism `P` (Table 1 column "P").
+    pub p: f64,
+    /// Saturated throughput in bytes/second (Table 1 column "∝ PB").
+    pub saturation_bytes_s: f64,
+    /// Goodness of fit (Table 1 column "R²").
+    pub r2: f64,
+}
+
+/// Run the §4.1 experiment: for each thread count `p`, spawn `p` closed-loop
+/// clients issuing `ios_per_client` random reads of `io_bytes` each, and
+/// record the makespan. A fresh device is built per round via `factory`
+/// (each round in the paper starts from an idle device).
+pub fn profile_pdam(
+    mut factory: impl FnMut() -> Box<dyn BlockDevice>,
+    threads: &[usize],
+    ios_per_client: u64,
+    io_bytes: u64,
+    seed: u64,
+) -> Result<PdamProfile, ProfileError> {
+    assert!(threads.len() >= 4, "need at least 4 thread counts for a segmented fit");
+    let mut series = Vec::with_capacity(threads.len());
+    for &p in threads {
+        let mut device = factory();
+        let cfg = ClosedLoopConfig::random_reads(p, ios_per_client, io_bytes, seed);
+        let result = run_closed_loop(device.as_mut(), &cfg)?;
+        series.push((p, result.makespan.as_secs_f64()));
+    }
+    let xs: Vec<f64> = series.iter().map(|&(p, _)| p as f64).collect();
+    let ys: Vec<f64> = series.iter().map(|&(_, t)| t).collect();
+    let fit = fit_flat_then_linear(&xs, &ys)?;
+    // Past the knee, time = slope · p for p clients each moving
+    // ios_per_client · io_bytes; the device moves
+    // (ios_per_client · io_bytes) / slope bytes per second.
+    let saturation_bytes_s = if fit.rising.slope > 0.0 {
+        ios_per_client as f64 * io_bytes as f64 / fit.rising.slope
+    } else {
+        f64::INFINITY
+    };
+    Ok(PdamProfile { series, p: fit.knee_x, saturation_bytes_s, r2: fit.r2, fit })
+}
+
+/// Result of the §4.2 affine benchmark: the size-vs-time series and the
+/// Table 2 row derived from it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AffineProfile {
+    /// `(io bytes, mean seconds per IO)` series.
+    pub series: Vec<(u64, f64)>,
+    /// The least-squares line.
+    pub fit: LinearFit,
+    /// Setup cost `s` in seconds (Table 2 column "s").
+    pub setup_s: f64,
+    /// Bandwidth cost `t` in seconds per 4096-byte block (Table 2 column
+    /// "t (s/4K)").
+    pub t_per_4k: f64,
+    /// `α = t/s` per 4 KiB block (Table 2 column "α").
+    pub alpha_per_4k: f64,
+    /// `α` per byte (what the tuner consumes).
+    pub alpha_per_byte: f64,
+    /// Goodness of fit (Table 2 column "R²").
+    pub r2: f64,
+}
+
+/// Run the §4.2 experiment: for each IO size, issue `reads_per_size` reads
+/// at random block-aligned offsets and record the mean latency, then fit
+/// `time = s + t·size`. Each size round runs against a fresh (idle) device
+/// from `factory`, matching the paper's independent rounds.
+pub fn profile_affine(
+    mut factory: impl FnMut() -> Box<dyn BlockDevice>,
+    io_sizes: &[u64],
+    reads_per_size: u64,
+    seed: u64,
+) -> Result<AffineProfile, ProfileError> {
+    assert!(io_sizes.len() >= 2, "need at least two IO sizes");
+    let mut series = Vec::with_capacity(io_sizes.len());
+    for (round, &size) in io_sizes.iter().enumerate() {
+        let mut device = factory();
+        let cfg = ClosedLoopConfig {
+            clients: 1,
+            ios_per_client: reads_per_size,
+            io_bytes: size,
+            align_bytes: 4096,
+            write_fraction: 0.0,
+            seed: seed ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        };
+        let result = run_closed_loop(device.as_mut(), &cfg)?;
+        series.push((size, result.mean_latency_s));
+    }
+    let xs: Vec<f64> = series.iter().map(|&(s, _)| s as f64).collect();
+    let ys: Vec<f64> = series.iter().map(|&(_, t)| t).collect();
+    let fit = fit_line(&xs, &ys)?;
+    let setup_s = fit.intercept;
+    let secs_per_byte = fit.slope;
+    Ok(AffineProfile {
+        series,
+        setup_s,
+        t_per_4k: secs_per_byte * 4096.0,
+        alpha_per_4k: secs_per_byte * 4096.0 / setup_s,
+        alpha_per_byte: secs_per_byte / setup_s,
+        r2: fit.r2,
+        fit,
+    })
+}
+
+/// The IO-size sweep of §4.2: one 4 KiB block up to 16 MiB, doubling.
+pub fn table2_io_sizes() -> Vec<u64> {
+    let mut sizes = Vec::new();
+    let mut s = 4096u64;
+    while s <= 16 * 1024 * 1024 {
+        sizes.push(s);
+        s *= 2;
+    }
+    sizes
+}
+
+/// The thread sweep of §4.1: powers of two from 1 to 64.
+pub fn fig1_thread_counts() -> Vec<usize> {
+    vec![1, 2, 4, 8, 16, 32, 64]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dam_storage::profiles;
+    use dam_storage::{HddDevice, SsdDevice};
+
+    #[test]
+    fn pdam_profile_recovers_effective_p() {
+        let profile = profiles::samsung_860_pro();
+        let target_p = profile.effective_p(64 * 1024); // Table 1: 3.3
+        let report = profile_pdam(
+            || Box::new(SsdDevice::new(profiles::samsung_860_pro())),
+            &fig1_thread_counts(),
+            300,
+            64 * 1024,
+            7,
+        )
+        .unwrap();
+        assert!(
+            (report.p - target_p).abs() < 0.5,
+            "fitted P {} vs device effective P {target_p}",
+            report.p
+        );
+        assert!(report.r2 > 0.99, "R² {}", report.r2);
+        // Saturation should be near the bus rate.
+        let target = profile.saturated_read_rate();
+        let ratio = report.saturation_bytes_s / target;
+        assert!((0.9..1.1).contains(&ratio), "saturation {} vs {target}", report.saturation_bytes_s);
+    }
+
+    #[test]
+    fn pdam_series_is_flat_then_linear() {
+        let report = profile_pdam(
+            || Box::new(SsdDevice::new(profiles::sandisk_ultra_ii())),
+            &fig1_thread_counts(),
+            200,
+            64 * 1024,
+            3,
+        )
+        .unwrap();
+        let t1 = report.series[0].1;
+        let t64 = report.series.last().unwrap().1;
+        // 64 threads on a ~6-unit device: time must grow ~10x, not 64x.
+        assert!(t64 / t1 > 5.0, "t64/t1 = {}", t64 / t1);
+        assert!(t64 / t1 < 30.0, "t64/t1 = {}", t64 / t1);
+    }
+
+    #[test]
+    fn affine_profile_recovers_table2_row() {
+        // WD Black 2011: s = 0.012, t = 0.000035 / 4K, alpha = 0.0029.
+        let report = profile_affine(
+            || Box::new(HddDevice::new(profiles::wd_black_1tb_2011(), 11)),
+            &table2_io_sizes(),
+            64,
+            5,
+        )
+        .unwrap();
+        assert!((report.setup_s - 0.012).abs() / 0.012 < 0.1, "s = {}", report.setup_s);
+        assert!(
+            (report.t_per_4k - 0.000035).abs() / 0.000035 < 0.1,
+            "t = {}",
+            report.t_per_4k
+        );
+        assert!(
+            (report.alpha_per_4k - 0.0029).abs() / 0.0029 < 0.2,
+            "alpha = {}",
+            report.alpha_per_4k
+        );
+        assert!(report.r2 > 0.99, "R² {}", report.r2);
+    }
+
+    #[test]
+    fn affine_profile_deterministic() {
+        let run = || {
+            profile_affine(
+                || Box::new(HddDevice::new(profiles::hitachi_1tb_2009(), 1)),
+                &table2_io_sizes(),
+                32,
+                9,
+            )
+            .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn io_size_sweep_shape() {
+        let sizes = table2_io_sizes();
+        assert_eq!(sizes[0], 4096);
+        assert_eq!(*sizes.last().unwrap(), 16 * 1024 * 1024);
+        assert!(sizes.windows(2).all(|w| w[1] == 2 * w[0]));
+    }
+}

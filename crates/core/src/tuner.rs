@@ -1,0 +1,136 @@
+//! Turn fitted model parameters into data-structure parameters — the
+//! "optimize parameter choices and fill in design details" step the paper
+//! argues the refined models enable.
+
+use dam_models::betree_costs::{self, BetreeConfig};
+use dam_models::{btree_costs, optimal, Affine, DictShape, Pdam};
+use serde::{Deserialize, Serialize};
+
+/// Recommended parameters for an affine device (a hard disk).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AffineTuning {
+    /// `α` per byte the tuning was derived from.
+    pub alpha_per_byte: f64,
+    /// Corollary 6: the node size optimizing *all* B-tree ops to within
+    /// constants — the half-bandwidth point `1/α`.
+    pub btree_all_ops_node_bytes: f64,
+    /// Corollary 7: the node size optimizing B-tree *point* ops,
+    /// `Θ(1/(α ln(1/α)))` — why real B-trees use small nodes.
+    pub btree_point_node_bytes: f64,
+    /// Corollary 12: the optimized Bε-tree fanout `F = Θ(1/(α ln(1/α)))`.
+    pub betree_fanout: f64,
+    /// Corollary 12: the optimized Bε-tree node size `B = F²` (entries),
+    /// in bytes.
+    pub betree_node_bytes: f64,
+    /// Predicted affine cost of a B-tree point op at its optimum.
+    pub predicted_btree_point_cost: f64,
+    /// Predicted affine cost of an optimized Bε-tree query at the
+    /// Corollary-12 parameters.
+    pub predicted_betree_query_cost: f64,
+    /// Predicted amortized Bε-tree insert cost at those parameters.
+    pub predicted_betree_insert_cost: f64,
+    /// The insert speedup factor over the B-tree (`Θ(log 1/α)` per
+    /// Corollary 12).
+    pub insert_speedup: f64,
+}
+
+/// Derive affine-model tuning from a fitted `α` and workload shape.
+pub fn tune_for_affine(affine: &Affine, shape: &DictShape) -> AffineTuning {
+    let btree_point = btree_costs::point_op_optimal_node_bytes(affine, shape);
+    let ae = affine.alpha * shape.entry_bytes;
+    let (fanout, node_entries) = optimal::optimal_betree_params(ae);
+    let betree_node_bytes = node_entries * shape.entry_bytes;
+    let cfg = BetreeConfig { node_bytes: betree_node_bytes, fanout };
+    let btree_cost = btree_costs::point_op_cost(affine, shape, btree_point);
+    let betree_query = betree_costs::query_cost_optimized(affine, shape, &cfg);
+    let betree_insert = betree_costs::insert_cost(affine, shape, &cfg);
+    AffineTuning {
+        alpha_per_byte: affine.alpha,
+        btree_all_ops_node_bytes: btree_costs::all_ops_optimal_node_bytes(affine),
+        btree_point_node_bytes: btree_point,
+        betree_fanout: fanout,
+        betree_node_bytes,
+        predicted_btree_point_cost: btree_cost,
+        predicted_betree_query_cost: betree_query,
+        predicted_betree_insert_cost: betree_insert,
+        insert_speedup: if betree_insert > 0.0 { btree_cost / betree_insert } else { f64::INFINITY },
+    }
+}
+
+/// Recommended parameters for a PDAM device (an SSD).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PdamTuning {
+    /// Fitted parallelism `P`.
+    pub p: f64,
+    /// Block bytes `B` used for the tuning.
+    pub block_bytes: f64,
+    /// §8: size the B-tree nodes at `P·B` and lay them out in vEB order.
+    pub node_bytes: f64,
+    /// Predicted query throughput (queries/step) for each `k = 1..⌈P⌉`
+    /// concurrent clients under Lemma 13.
+    pub throughput_by_clients: Vec<(u32, f64)>,
+}
+
+/// Derive PDAM tuning from fitted `P` and a workload shape.
+pub fn tune_for_pdam(pdam: &Pdam, n_items: f64, entry_bytes: f64) -> PdamTuning {
+    let p_ceil = pdam.p.ceil() as u32;
+    let throughput_by_clients = (1..=p_ceil.max(1))
+        .map(|k| (k, pdam.veb_tree_throughput(k as f64, n_items, entry_bytes)))
+        .collect();
+    PdamTuning {
+        p: pdam.p,
+        block_bytes: pdam.block_bytes,
+        node_bytes: pdam.p * pdam.block_bytes,
+        throughput_by_clients,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Affine, DictShape) {
+        (Affine::new(7.1e-7), DictShape::new(2e9, 1e4, 116.0, 24.0))
+    }
+
+    #[test]
+    fn btree_point_nodes_smaller_than_half_bandwidth() {
+        let (a, s) = setup();
+        let t = tune_for_affine(&a, &s);
+        assert!(t.btree_point_node_bytes < t.btree_all_ops_node_bytes);
+    }
+
+    #[test]
+    fn betree_nodes_much_larger_than_btree_nodes() {
+        // "an optimized Bε-tree node size can be nearly the square of the
+        // optimal node size for a B-tree" (§6).
+        let (a, s) = setup();
+        let t = tune_for_affine(&a, &s);
+        assert!(
+            t.betree_node_bytes > 10.0 * t.btree_point_node_bytes,
+            "betree {} vs btree {}",
+            t.betree_node_bytes,
+            t.btree_point_node_bytes
+        );
+    }
+
+    #[test]
+    fn corollary12_tradeoff_holds() {
+        // Queries within a constant of the B-tree; inserts a log(1/alpha)
+        // factor faster.
+        let (a, s) = setup();
+        let t = tune_for_affine(&a, &s);
+        assert!(t.predicted_betree_query_cost < 2.0 * t.predicted_btree_point_cost);
+        assert!(t.insert_speedup > 3.0, "speedup {}", t.insert_speedup);
+    }
+
+    #[test]
+    fn pdam_tuning_scales_node_to_pb() {
+        let p = Pdam::new(5.5, 65536.0);
+        let t = tune_for_pdam(&p, 1e9, 116.0);
+        assert!((t.node_bytes - 5.5 * 65536.0).abs() < 1e-6);
+        assert_eq!(t.throughput_by_clients.len(), 6);
+        // Throughput rises with k.
+        assert!(t.throughput_by_clients.windows(2).all(|w| w[1].1 > w[0].1));
+    }
+}

@@ -1,0 +1,230 @@
+//! Compact binary codec for on-disk node images.
+//!
+//! Little-endian fixed-width integers and length-prefixed byte strings, with
+//! fully checked decoding: a truncated or corrupt image produces a
+//! [`CodecError`], never a panic or garbage data. The format is deliberately
+//! boring — the interesting parts of the paper are in *when* bytes move, not
+//! how they are arranged.
+
+/// Decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the announced length.
+    UnexpectedEof {
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes remaining.
+        remaining: usize,
+    },
+    /// A length prefix or tag was nonsensical.
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEof { needed, remaining } => {
+                write!(f, "unexpected EOF: needed {needed} bytes, {remaining} remaining")
+            }
+            CodecError::Invalid(what) => write!(f, "invalid encoding: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only encoder.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Fresh writer.
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    /// Writer with preallocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Writer { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finish and take the encoded buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Write a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a byte string with a `u32` length prefix.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        debug_assert!(v.len() <= u32::MAX as usize);
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Write raw bytes with no prefix (fixed-layout fields).
+    pub fn put_raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Checked decoder over a byte slice.
+#[derive(Debug, Clone, Copy)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Decode from `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when fully consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof { needed: n, remaining: self.remaining() });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes(s.try_into().expect("slice of 4")))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes(s.try_into().expect("slice of 8")))
+    }
+
+    /// Read a `u32`-length-prefixed byte string, borrowing from the input.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.get_u32()? as usize;
+        if len > self.remaining() {
+            return Err(CodecError::UnexpectedEof { needed: len, remaining: self.remaining() });
+        }
+        self.take(len)
+    }
+
+    /// Read `n` raw bytes.
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        self.take(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut w = Writer::new();
+        w.put_bytes(b"");
+        w.put_bytes(b"hello");
+        w.put_raw(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_bytes().unwrap(), b"");
+        assert_eq!(r.get_bytes().unwrap(), b"hello");
+        assert_eq!(r.get_raw(3).unwrap(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn truncated_scalar_fails_cleanly() {
+        let mut r = Reader::new(&[1, 2]);
+        assert_eq!(
+            r.get_u32(),
+            Err(CodecError::UnexpectedEof { needed: 4, remaining: 2 })
+        );
+    }
+
+    #[test]
+    fn lying_length_prefix_fails_cleanly() {
+        let mut w = Writer::new();
+        w.put_u32(1_000_000); // claims a megabyte follows
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.get_bytes(), Err(CodecError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn reader_position_advances_exactly() {
+        let mut w = Writer::new();
+        w.put_bytes(b"abc");
+        w.put_u8(9);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.remaining(), bytes.len());
+        r.get_bytes().unwrap();
+        assert_eq!(r.remaining(), 1);
+        r.get_u8().unwrap();
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn writer_len_tracks() {
+        let mut w = Writer::with_capacity(64);
+        assert!(w.is_empty());
+        w.put_u64(0);
+        assert_eq!(w.len(), 8);
+    }
+}

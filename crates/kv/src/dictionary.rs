@@ -1,0 +1,118 @@
+//! The external-dictionary interface (§3): inserts, deletes, point queries,
+//! and range queries, with per-operation cost reporting so experiments can
+//! attribute simulated time and IO to individual operations.
+
+use serde::{Deserialize, Serialize};
+
+/// An owned key-value pair, as returned by range queries.
+pub type KvPair = (Vec<u8>, Vec<u8>);
+
+/// Errors surfaced by dictionary implementations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvError {
+    /// The underlying device failed.
+    Storage(String),
+    /// A node image failed to decode.
+    Corrupt(String),
+    /// The dictionary is misconfigured (e.g. node size too small for a
+    /// single entry).
+    Config(String),
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::Storage(s) => write!(f, "storage error: {s}"),
+            KvError::Corrupt(s) => write!(f, "corruption: {s}"),
+            KvError::Config(s) => write!(f, "configuration error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// Cost of one dictionary operation, as observed at the storage layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OpCost {
+    /// Device IOs issued (cache misses).
+    pub ios: u64,
+    /// Bytes read from the device.
+    pub bytes_read: u64,
+    /// Bytes written to the device.
+    pub bytes_written: u64,
+    /// Simulated time the operation spent waiting on IO, nanoseconds.
+    pub io_time_ns: u64,
+}
+
+impl OpCost {
+    /// Accumulate another operation's cost.
+    pub fn add(&mut self, other: &OpCost) {
+        self.ios += other.ios;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.io_time_ns = self.io_time_ns.saturating_add(other.io_time_ns);
+    }
+
+    /// IO time in fractional milliseconds.
+    pub fn io_time_ms(&self) -> f64 {
+        self.io_time_ns as f64 / 1e6
+    }
+}
+
+/// A key-value dictionary over simulated storage.
+///
+/// Implementations report, through [`Dictionary::last_op_cost`], the storage
+/// cost of the most recent operation; experiment harnesses sum these per
+/// parameter setting.
+pub trait Dictionary {
+    /// Insert or overwrite `key`.
+    fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<(), KvError>;
+
+    /// Delete `key` (absent keys are a no-op).
+    fn delete(&mut self, key: &[u8]) -> Result<(), KvError>;
+
+    /// Point query.
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, KvError>;
+
+    /// Range query: all pairs with `start ≤ key < end`, in key order.
+    fn range(&mut self, start: &[u8], end: &[u8]) -> Result<Vec<KvPair>, KvError>;
+
+    /// Cost of the most recently completed operation.
+    fn last_op_cost(&self) -> OpCost;
+
+    /// Flush buffered state to the device (checkpoint). The flush's IO cost
+    /// is reported through [`Dictionary::last_op_cost`] so experiment
+    /// harnesses can attribute deferred writes. Default: no-op.
+    fn sync(&mut self) -> Result<(), KvError> {
+        Ok(())
+    }
+
+    /// Number of live keys (may require IO on some implementations).
+    fn len(&mut self) -> Result<u64, KvError>;
+
+    /// True when no live keys exist.
+    fn is_empty(&mut self) -> Result<bool, KvError> {
+        Ok(self.len()? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_cost_accumulates() {
+        let mut a = OpCost { ios: 1, bytes_read: 10, bytes_written: 20, io_time_ns: 5 };
+        let b = OpCost { ios: 2, bytes_read: 1, bytes_written: 2, io_time_ns: 3 };
+        a.add(&b);
+        assert_eq!(a, OpCost { ios: 3, bytes_read: 11, bytes_written: 22, io_time_ns: 8 });
+        assert!((a.io_time_ms() - 8e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(format!("{}", KvError::Storage("x".into())).contains("storage"));
+        assert!(format!("{}", KvError::Corrupt("y".into())).contains("corruption"));
+        assert!(format!("{}", KvError::Config("z".into())).contains("configuration"));
+    }
+}

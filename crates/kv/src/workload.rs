@@ -1,0 +1,344 @@
+//! Deterministic workload generation.
+//!
+//! §7's protocol: preload the database with random key-value pairs, then
+//! issue random inserts and random queries over the key space. Generators
+//! here produce those streams reproducibly: uniform, zipfian (hot-key), and
+//! sequential key distributions; configurable value sizes; mixed op streams.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How keys are drawn from the key space `[0, n_keys)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum KeyDistribution {
+    /// Uniform over the key space.
+    Uniform,
+    /// Zipfian with the given exponent (`~0.99` is the YCSB default);
+    /// key 0 is hottest.
+    Zipfian(f64),
+    /// Strictly ascending from 0 (bulk-load / time-series pattern).
+    Sequential,
+}
+
+/// One generated operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Insert (or overwrite) a pair.
+    Insert(Vec<u8>, Vec<u8>),
+    /// Delete a key.
+    Delete(Vec<u8>),
+    /// Point query.
+    Get(Vec<u8>),
+    /// Range query starting at the key, spanning `span` key indices.
+    Range(Vec<u8>, u64),
+}
+
+/// Workload parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Size of the key space.
+    pub n_keys: u64,
+    /// Value size in bytes (the §7 benchmark uses ~100 B).
+    pub value_bytes: usize,
+    /// Key distribution.
+    pub distribution: KeyDistribution,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// Uniform workload with the given key space and 100-byte values.
+    pub fn uniform(n_keys: u64, seed: u64) -> Self {
+        WorkloadConfig { n_keys, value_bytes: 100, distribution: KeyDistribution::Uniform, seed }
+    }
+}
+
+/// Stateful, seeded workload generator.
+pub struct WorkloadGen {
+    cfg: WorkloadConfig,
+    rng: StdRng,
+    sequential_next: u64,
+    /// Zipf rejection-sampler constants (Jim Gray et al.'s method), built
+    /// lazily on first zipfian draw.
+    zipf: Option<ZipfSampler>,
+}
+
+impl WorkloadGen {
+    /// Build a generator.
+    pub fn new(cfg: WorkloadConfig) -> Self {
+        assert!(cfg.n_keys > 0, "empty key space");
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        WorkloadGen { cfg, rng, sequential_next: 0, zipf: None }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.cfg
+    }
+
+    /// Draw a key index according to the configured distribution.
+    pub fn next_index(&mut self) -> u64 {
+        match self.cfg.distribution {
+            KeyDistribution::Uniform => self.rng.gen_range(0..self.cfg.n_keys),
+            KeyDistribution::Sequential => {
+                let i = self.sequential_next;
+                self.sequential_next = (self.sequential_next + 1) % self.cfg.n_keys;
+                i
+            }
+            KeyDistribution::Zipfian(theta) => {
+                let n = self.cfg.n_keys;
+                let z = self
+                    .zipf
+                    .get_or_insert_with(|| ZipfSampler::new(n, theta));
+                z.sample(&mut self.rng)
+            }
+        }
+    }
+
+    /// Draw a key (16-byte big-endian encoding of the index).
+    pub fn next_key(&mut self) -> Vec<u8> {
+        crate::key_from_u64(self.next_index()).to_vec()
+    }
+
+    /// Generate a pseudo-random value of the configured size. Values embed
+    /// the generating index so integrity checks can verify reads.
+    pub fn value_for(&mut self, index: u64) -> Vec<u8> {
+        let mut v = vec![0u8; self.cfg.value_bytes];
+        let tag = index.to_le_bytes();
+        for (i, b) in v.iter_mut().enumerate() {
+            *b = tag[i % 8] ^ (i as u8).wrapping_mul(31);
+        }
+        v
+    }
+
+    /// Next insert op.
+    pub fn next_insert(&mut self) -> Op {
+        let i = self.next_index();
+        let v = self.value_for(i);
+        Op::Insert(crate::key_from_u64(i).to_vec(), v)
+    }
+
+    /// Next point-query op.
+    pub fn next_get(&mut self) -> Op {
+        Op::Get(self.next_key())
+    }
+
+    /// Next delete op.
+    pub fn next_delete(&mut self) -> Op {
+        Op::Delete(self.next_key())
+    }
+
+    /// Next range op spanning `span` key indices.
+    pub fn next_range(&mut self, span: u64) -> Op {
+        let start = self.next_index().min(self.cfg.n_keys.saturating_sub(span));
+        Op::Range(crate::key_from_u64(start).to_vec(), span)
+    }
+
+    /// A mixed stream: each op is a get with probability `read_fraction`,
+    /// otherwise an insert.
+    pub fn mixed_stream(&mut self, n: usize, read_fraction: f64) -> Vec<Op> {
+        (0..n)
+            .map(|_| {
+                if self.rng.gen_range(0.0..1.0) < read_fraction {
+                    self.next_get()
+                } else {
+                    self.next_insert()
+                }
+            })
+            .collect()
+    }
+
+    /// The §7 preload: every key in `[0, n_keys)` exactly once, in random
+    /// order (Fisher–Yates on the index space would need O(n) memory anyway,
+    /// so we shuffle a materialized index vector).
+    pub fn preload_ops(&mut self) -> Vec<Op> {
+        let n = self.cfg.n_keys;
+        let mut idx: Vec<u64> = (0..n).collect();
+        // Fisher–Yates with the generator's RNG.
+        for i in (1..idx.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            idx.swap(i, j);
+        }
+        idx.into_iter()
+            .map(|i| {
+                let v = self.value_for(i);
+                Op::Insert(crate::key_from_u64(i).to_vec(), v)
+            })
+            .collect()
+    }
+}
+
+/// Zipf sampler using the classic Gray et al. approximation: O(1) per draw
+/// after O(1) setup, exact in distribution for the zipf(θ) law.
+struct ZipfSampler {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl ZipfSampler {
+    fn new(n: u64, theta: f64) -> Self {
+        assert!(theta > 0.0 && theta < 2.0 && (theta - 1.0).abs() > 1e-9, "theta near 1 unsupported");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        ZipfSampler { n, theta, alpha, zetan, eta, zeta2: Self::zeta(2, theta) }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct sum for small n; Euler–Maclaurin style integral tail bound
+        // for large n keeps setup O(10^5) regardless of key-space size.
+        const EXACT: u64 = 100_000;
+        if n <= EXACT {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let head: f64 = (1..=EXACT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            // ∫_{EXACT}^{n} x^{-theta} dx
+            let a = EXACT as f64;
+            let b = n as f64;
+            head + (b.powf(1.0 - theta) - a.powf(1.0 - theta)) / (1.0 - theta)
+        }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let _ = self.zeta2;
+        let k = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        k.min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_key_space() {
+        let mut g = WorkloadGen::new(WorkloadConfig::uniform(100, 42));
+        let mut seen = [false; 100];
+        for _ in 0..10_000 {
+            seen[g.next_index() as usize] = true;
+        }
+        assert!(seen.iter().filter(|&&s| s).count() > 95);
+    }
+
+    #[test]
+    fn sequential_wraps() {
+        let mut g = WorkloadGen::new(WorkloadConfig {
+            n_keys: 3,
+            value_bytes: 8,
+            distribution: KeyDistribution::Sequential,
+            seed: 0,
+        });
+        let seq: Vec<u64> = (0..7).map(|_| g.next_index()).collect();
+        assert_eq!(seq, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn zipfian_skews_to_low_indices() {
+        let mut g = WorkloadGen::new(WorkloadConfig {
+            n_keys: 10_000,
+            value_bytes: 8,
+            distribution: KeyDistribution::Zipfian(0.99),
+            seed: 7,
+        });
+        let n = 20_000;
+        let hot = (0..n).filter(|_| g.next_index() < 100).count();
+        // Under zipf(0.99), the hottest 1% of keys draw a large share.
+        assert!(hot > n / 4, "hot draws: {hot}/{n}");
+    }
+
+    #[test]
+    fn zipfian_stays_in_range() {
+        let mut g = WorkloadGen::new(WorkloadConfig {
+            n_keys: 1_000,
+            value_bytes: 8,
+            distribution: KeyDistribution::Zipfian(1.2),
+            seed: 9,
+        });
+        for _ in 0..10_000 {
+            assert!(g.next_index() < 1_000);
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let gen = |seed| {
+            let mut g = WorkloadGen::new(WorkloadConfig::uniform(1000, seed));
+            (0..100).map(|_| g.next_index()).collect::<Vec<_>>()
+        };
+        assert_eq!(gen(5), gen(5));
+        assert_ne!(gen(5), gen(6));
+    }
+
+    #[test]
+    fn preload_hits_every_key_once() {
+        let mut g = WorkloadGen::new(WorkloadConfig::uniform(500, 3));
+        let ops = g.preload_ops();
+        assert_eq!(ops.len(), 500);
+        let mut seen = vec![false; 500];
+        for op in &ops {
+            if let Op::Insert(k, _) = op {
+                let i = crate::key_to_u64(k).unwrap() as usize;
+                assert!(!seen[i], "duplicate key {i}");
+                seen[i] = true;
+            } else {
+                panic!("preload must be all inserts");
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn preload_is_shuffled() {
+        let mut g = WorkloadGen::new(WorkloadConfig::uniform(500, 3));
+        let ops = g.preload_ops();
+        let ordered = ops.windows(2).all(|w| match (&w[0], &w[1]) {
+            (Op::Insert(a, _), Op::Insert(b, _)) => a < b,
+            _ => false,
+        });
+        assert!(!ordered, "preload should not be in sorted order");
+    }
+
+    #[test]
+    fn values_embed_index_and_have_right_size() {
+        let mut g = WorkloadGen::new(WorkloadConfig::uniform(10, 1));
+        let v1 = g.value_for(3);
+        let v2 = g.value_for(3);
+        let v3 = g.value_for(4);
+        assert_eq!(v1.len(), 100);
+        assert_eq!(v1, v2);
+        assert_ne!(v1, v3);
+    }
+
+    #[test]
+    fn mixed_stream_respects_fraction() {
+        let mut g = WorkloadGen::new(WorkloadConfig::uniform(1000, 11));
+        let ops = g.mixed_stream(2000, 0.75);
+        let gets = ops.iter().filter(|o| matches!(o, Op::Get(_))).count();
+        assert!((gets as f64 / 2000.0 - 0.75).abs() < 0.05, "gets {gets}");
+    }
+
+    #[test]
+    fn range_op_stays_in_bounds() {
+        let mut g = WorkloadGen::new(WorkloadConfig::uniform(100, 2));
+        for _ in 0..100 {
+            if let Op::Range(start, span) = g.next_range(20) {
+                let s = crate::key_to_u64(&start).unwrap();
+                assert!(s + span <= 100 + 20);
+            }
+        }
+    }
+}

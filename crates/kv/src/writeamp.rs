@@ -1,0 +1,89 @@
+//! Write-amplification metering (Definition 3).
+//!
+//! "The write amplification of an update is the amortized amount of data
+//! written to disk per operation divided by the amount of data modified per
+//! update." Dictionaries feed this meter the logical bytes each update
+//! modifies; the experiment harness pairs it with the device's
+//! `bytes_written` counter to compute the ratio (Lemma 3: `Θ(B)` for
+//! B-trees; Theorem 4(4): `O(B^ε log(N/M))` for Bε-trees).
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulates logical modification volume and physical write volume.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct WriteAmpMeter {
+    /// Logical bytes modified by updates (key + value per insert, key per
+    /// delete).
+    pub logical_bytes: u64,
+    /// Number of update operations.
+    pub updates: u64,
+    /// Physical bytes written to the device (caller-supplied snapshots).
+    pub physical_bytes: u64,
+}
+
+impl WriteAmpMeter {
+    /// Fresh meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one logical update modifying `bytes` bytes.
+    pub fn record_update(&mut self, bytes: u64) {
+        self.logical_bytes += bytes;
+        self.updates += 1;
+    }
+
+    /// Record physical bytes written (e.g. the delta of
+    /// `DeviceStats::bytes_written` over a measurement window).
+    pub fn record_physical(&mut self, bytes: u64) {
+        self.physical_bytes += bytes;
+    }
+
+    /// Write amplification: physical / logical. `None` until at least one
+    /// logical byte has been recorded.
+    pub fn amplification(&self) -> Option<f64> {
+        if self.logical_bytes == 0 {
+            None
+        } else {
+            Some(self.physical_bytes as f64 / self.logical_bytes as f64)
+        }
+    }
+
+    /// Mean physical bytes written per update.
+    pub fn physical_per_update(&self) -> Option<f64> {
+        if self.updates == 0 {
+            None
+        } else {
+            Some(self.physical_bytes as f64 / self.updates as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amplification_ratio() {
+        let mut m = WriteAmpMeter::new();
+        m.record_update(100);
+        m.record_update(100);
+        m.record_physical(4000);
+        assert_eq!(m.amplification(), Some(20.0));
+        assert_eq!(m.physical_per_update(), Some(2000.0));
+    }
+
+    #[test]
+    fn empty_meter_returns_none() {
+        let m = WriteAmpMeter::new();
+        assert_eq!(m.amplification(), None);
+        assert_eq!(m.physical_per_update(), None);
+    }
+
+    #[test]
+    fn physical_without_logical_still_none() {
+        let mut m = WriteAmpMeter::new();
+        m.record_physical(1000);
+        assert_eq!(m.amplification(), None);
+    }
+}

@@ -1,0 +1,629 @@
+//! The leveled LSM-tree: memtable → L0 runs → exponentially larger,
+//! non-overlapping levels, with size-triggered compaction.
+
+use crate::sstable::{RunEntry, SsTable};
+use dam_cache::{Pager, PagerError};
+use dam_kv::{Dictionary, KvError, OpCost};
+use dam_storage::SharedDevice;
+use std::collections::BTreeMap;
+
+/// LSM configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LsmConfig {
+    /// Memtable flush threshold, bytes.
+    pub memtable_bytes: usize,
+    /// Data-block granularity inside SSTables (the point-read IO unit).
+    pub block_bytes: usize,
+    /// Target SSTable size, bytes (LevelDB default: 2 MiB).
+    pub sstable_bytes: usize,
+    /// Per-level size ratio `T` (LevelDB: 10).
+    pub level_ratio: usize,
+    /// Runs allowed in L0 before compacting into L1.
+    pub l0_limit: usize,
+    /// Buffer-pool budget, bytes.
+    pub cache_bytes: u64,
+}
+
+impl LsmConfig {
+    /// LevelDB-flavored defaults for a given SSTable size: memtable =
+    /// one SSTable, 4 KiB blocks, ratio 10, 4 L0 runs.
+    pub fn new(sstable_bytes: usize, cache_bytes: u64) -> Self {
+        LsmConfig {
+            memtable_bytes: sstable_bytes,
+            block_bytes: 4096,
+            sstable_bytes,
+            level_ratio: 10,
+            l0_limit: 4,
+            cache_bytes,
+        }
+    }
+}
+
+fn map_pager(e: PagerError) -> KvError {
+    KvError::Storage(e.to_string())
+}
+
+/// A leveled LSM-tree (see crate docs).
+pub struct LsmTree {
+    pager: Pager,
+    cfg: LsmConfig,
+    mem: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    mem_bytes: usize,
+    /// L0 runs; **later entries are newer**.
+    l0: Vec<SsTable>,
+    /// `levels[i]` is level `i+1`: non-overlapping, ascending by `min_key`.
+    levels: Vec<Vec<SsTable>>,
+    next_stamp: u64,
+    last_cost: OpCost,
+}
+
+/// Merge runs where **earlier runs take precedence** (newer data first).
+/// Output is ascending by key; tombstones retained unless `drop_tombstones`.
+fn merge_runs(runs: Vec<Vec<RunEntry>>, drop_tombstones: bool) -> Vec<RunEntry> {
+    let mut map: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+    // Lowest precedence first; later (higher-precedence) inserts overwrite.
+    for run in runs.into_iter().rev() {
+        for (k, v) in run {
+            map.insert(k, v);
+        }
+    }
+    map.into_iter().filter(|(_, v)| !(drop_tombstones && v.is_none())).collect()
+}
+
+impl LsmTree {
+    /// Create an empty tree on `device`.
+    pub fn create(device: SharedDevice, cfg: LsmConfig) -> Result<Self, KvError> {
+        if cfg.block_bytes < 64 || cfg.sstable_bytes < cfg.block_bytes {
+            return Err(KvError::Config("block/sstable sizes too small".into()));
+        }
+        if cfg.level_ratio < 2 || cfg.l0_limit < 1 || cfg.memtable_bytes < cfg.block_bytes {
+            return Err(KvError::Config("bad ratio/l0 limit/memtable size".into()));
+        }
+        Ok(LsmTree {
+            pager: Pager::new(device, cfg.cache_bytes, 0),
+            cfg,
+            mem: BTreeMap::new(),
+            mem_bytes: 0,
+            l0: Vec::new(),
+            levels: Vec::new(),
+            next_stamp: 1,
+            last_cost: OpCost::default(),
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LsmConfig {
+        &self.cfg
+    }
+
+    /// The pager (counters, flush, cache drops).
+    pub fn pager(&mut self) -> &mut Pager {
+        &mut self.pager
+    }
+
+    /// Number of runs in L0 plus tables per deeper level (diagnostics).
+    pub fn level_table_counts(&self) -> Vec<usize> {
+        let mut out = vec![self.l0.len()];
+        out.extend(self.levels.iter().map(|l| l.len()));
+        out
+    }
+
+    /// Flush dirty cache pages (not the memtable).
+    pub fn flush(&mut self) -> Result<(), KvError> {
+        self.pager.flush().map_err(map_pager)
+    }
+
+    /// Flush and empty the cache.
+    pub fn drop_cache(&mut self) -> Result<(), KvError> {
+        self.pager.drop_cache().map_err(map_pager)
+    }
+
+    fn stamp(&mut self) -> u64 {
+        let s = self.next_stamp;
+        self.next_stamp += 1;
+        s
+    }
+
+    // ------------------------------------------------------------------
+    // Writes
+    // ------------------------------------------------------------------
+
+    fn update(&mut self, key: &[u8], value: Option<Vec<u8>>) -> Result<(), KvError> {
+        let add = SsTable::entry_bytes(key, &value);
+        if add > self.cfg.block_bytes {
+            return Err(KvError::Config(format!(
+                "entry of {add} bytes exceeds block_bytes {}",
+                self.cfg.block_bytes
+            )));
+        }
+        if let Some(old) = self.mem.insert(key.to_vec(), value) {
+            self.mem_bytes = self.mem_bytes.saturating_sub(SsTable::entry_bytes(key, &old));
+        }
+        self.mem_bytes += add;
+        if self.mem_bytes >= self.cfg.memtable_bytes {
+            self.flush_memtable()?;
+        }
+        Ok(())
+    }
+
+    /// Write the memtable out as a new L0 run, compacting as needed.
+    pub fn flush_memtable(&mut self) -> Result<(), KvError> {
+        if self.mem.is_empty() {
+            return Ok(());
+        }
+        let entries: Vec<RunEntry> = std::mem::take(&mut self.mem).into_iter().collect();
+        self.mem_bytes = 0;
+        let stamp = self.stamp();
+        let table = SsTable::build(&mut self.pager, self.cfg.block_bytes, entries, stamp)?;
+        self.l0.push(table);
+        if self.l0.len() > self.cfg.l0_limit {
+            self.compact_l0()?;
+        }
+        Ok(())
+    }
+
+    /// Size budget of level `i+1` (`levels[i]`): `sstable · ratio^(i+1)`.
+    fn level_budget(&self, idx: usize) -> u64 {
+        let mut b = self.cfg.sstable_bytes as u64;
+        for _ in 0..=idx {
+            b = b.saturating_mul(self.cfg.level_ratio as u64);
+        }
+        b
+    }
+
+    fn level_bytes(&self, idx: usize) -> u64 {
+        self.levels.get(idx).map_or(0, |l| l.iter().map(|t| t.data_len).sum())
+    }
+
+    /// True when no data lives below `levels[idx]` — tombstones can drop.
+    fn is_bottom(&self, idx: usize) -> bool {
+        self.levels.iter().skip(idx + 1).all(|l| l.is_empty())
+    }
+
+    /// Split merged entries into SSTables of at most `sstable_bytes`.
+    fn build_tables(&mut self, merged: Vec<RunEntry>) -> Result<Vec<SsTable>, KvError> {
+        let mut out = Vec::new();
+        let mut cur: Vec<RunEntry> = Vec::new();
+        let mut bytes = 0usize;
+        for (k, v) in merged {
+            let sz = SsTable::entry_bytes(&k, &v);
+            if !cur.is_empty() && bytes + sz > self.cfg.sstable_bytes {
+                let stamp = self.stamp();
+                out.push(SsTable::build(
+                    &mut self.pager,
+                    self.cfg.block_bytes,
+                    std::mem::take(&mut cur),
+                    stamp,
+                )?);
+                bytes = 0;
+            }
+            bytes += sz;
+            cur.push((k, v));
+        }
+        if !cur.is_empty() {
+            let stamp = self.stamp();
+            out.push(SsTable::build(&mut self.pager, self.cfg.block_bytes, cur, stamp)?);
+        }
+        Ok(out)
+    }
+
+    /// Merge every L0 run plus the overlapping part of L1 into L1.
+    fn compact_l0(&mut self) -> Result<(), KvError> {
+        if self.l0.is_empty() {
+            return Ok(());
+        }
+        if self.levels.is_empty() {
+            self.levels.push(Vec::new());
+        }
+        let lo = self.l0.iter().map(|t| t.min_key.clone()).min().expect("nonempty");
+        let hi = self.l0.iter().map(|t| t.max_key.clone()).max().expect("nonempty");
+        // Partition L1 into overlapping and untouched.
+        let l1 = std::mem::take(&mut self.levels[0]);
+        let (overlapping, untouched): (Vec<_>, Vec<_>) =
+            l1.into_iter().partition(|t| t.overlaps(&lo, &hi));
+
+        // Precedence: newest L0 first, then older L0, then L1 (concatenated
+        // — non-overlapping, so order within the run is by key already).
+        let mut runs: Vec<Vec<RunEntry>> = Vec::new();
+        for t in self.l0.iter().rev() {
+            runs.push(t.scan_all(&mut self.pager)?);
+        }
+        let mut l1_run = Vec::new();
+        for t in &overlapping {
+            l1_run.extend(t.scan_all(&mut self.pager)?);
+        }
+        runs.push(l1_run);
+
+        let drop_tombs = self.is_bottom(0);
+        let merged = merge_runs(runs, drop_tombs);
+        let new_tables = self.build_tables(merged)?;
+
+        for t in self.l0.drain(..).collect::<Vec<_>>() {
+            t.destroy(&mut self.pager);
+        }
+        for t in overlapping {
+            t.destroy(&mut self.pager);
+        }
+        let mut level = untouched;
+        level.extend(new_tables);
+        level.sort_by(|a, b| a.min_key.cmp(&b.min_key));
+        self.levels[0] = level;
+        self.maybe_compact_level(0)
+    }
+
+    /// Push one table per round from `levels[idx]` down while the level is
+    /// over budget.
+    fn maybe_compact_level(&mut self, idx: usize) -> Result<(), KvError> {
+        while self.level_bytes(idx) > self.level_budget(idx) {
+            if self.levels.len() <= idx + 1 {
+                self.levels.push(Vec::new());
+            }
+            // Victim: the table with the smallest min_key (simple round
+            // robin would also work; determinism is what matters).
+            let victim = self.levels[idx].remove(0);
+            let next = std::mem::take(&mut self.levels[idx + 1]);
+            let (overlapping, untouched): (Vec<_>, Vec<_>) = next
+                .into_iter()
+                .partition(|t| t.overlaps(&victim.min_key, &victim.max_key));
+            let mut runs: Vec<Vec<RunEntry>> = vec![victim.scan_all(&mut self.pager)?];
+            let mut low_run = Vec::new();
+            for t in &overlapping {
+                low_run.extend(t.scan_all(&mut self.pager)?);
+            }
+            runs.push(low_run);
+            let drop_tombs = self.is_bottom(idx + 1);
+            let merged = merge_runs(runs, drop_tombs);
+            let new_tables = self.build_tables(merged)?;
+            victim.destroy(&mut self.pager);
+            for t in overlapping {
+                t.destroy(&mut self.pager);
+            }
+            let mut level = untouched;
+            level.extend(new_tables);
+            level.sort_by(|a, b| a.min_key.cmp(&b.min_key));
+            self.levels[idx + 1] = level;
+            self.maybe_compact_level(idx + 1)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    fn get_inner(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
+        if let Some(v) = self.mem.get(key) {
+            return Ok(v.clone());
+        }
+        // L0: newest run wins.
+        for i in (0..self.l0.len()).rev() {
+            let t = self.l0[i].clone();
+            if let Some(v) = t.get(&mut self.pager, key)? {
+                return Ok(v);
+            }
+        }
+        for li in 0..self.levels.len() {
+            // Non-overlapping: at most one candidate table.
+            let cand = {
+                let level = &self.levels[li];
+                let i = level.partition_point(|t| t.min_key.as_slice() <= key);
+                if i == 0 {
+                    continue;
+                }
+                level[i - 1].clone()
+            };
+            if let Some(v) = cand.get(&mut self.pager, key)? {
+                return Ok(v);
+            }
+        }
+        Ok(None)
+    }
+
+    fn range_inner(
+        &mut self,
+        start: &[u8],
+        end: &[u8],
+    ) -> Result<Vec<dam_kv::KvPair>, KvError> {
+        let mut runs: Vec<Vec<RunEntry>> = Vec::new();
+        // Memtable: highest precedence.
+        runs.push(
+            self.mem
+                .range(start.to_vec()..end.to_vec())
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        );
+        for i in (0..self.l0.len()).rev() {
+            let t = self.l0[i].clone();
+            if t.overlaps(start, end) {
+                runs.push(t.scan(&mut self.pager, start, end)?);
+            }
+        }
+        for li in 0..self.levels.len() {
+            let tables: Vec<SsTable> = self.levels[li]
+                .iter()
+                .filter(|t| t.overlaps(start, end))
+                .cloned()
+                .collect();
+            let mut run = Vec::new();
+            for t in tables {
+                run.extend(t.scan(&mut self.pager, start, end)?);
+            }
+            runs.push(run);
+        }
+        Ok(merge_runs(runs, true)
+            .into_iter()
+            .map(|(k, v)| (k, v.expect("tombstones dropped")))
+            .collect())
+    }
+
+    // ------------------------------------------------------------------
+    // Invariants (test support)
+    // ------------------------------------------------------------------
+
+    /// Verify level ordering and table metadata; returns live entries.
+    pub fn check_invariants(&mut self) -> Result<u64, KvError> {
+        for (li, level) in self.levels.iter().enumerate() {
+            for w in level.windows(2) {
+                if w[0].max_key >= w[1].min_key {
+                    return Err(KvError::Corrupt(format!("level {} tables overlap", li + 1)));
+                }
+            }
+            for t in level {
+                if t.min_key > t.max_key || t.blocks.is_empty() {
+                    return Err(KvError::Corrupt("malformed table".into()));
+                }
+            }
+        }
+        // Count live keys by a full merge (also validates every block
+        // decodes).
+        let all = self.range_inner(&[], &[0xFFu8; 64])?;
+        for w in all.windows(2) {
+            if w[0].0 >= w[1].0 {
+                return Err(KvError::Corrupt("merged output unsorted".into()));
+            }
+        }
+        Ok(all.len() as u64)
+    }
+
+    fn finish_op(&mut self, snap: &dam_cache::CostSnapshot) {
+        let d = self.pager.cost_since(snap);
+        self.last_cost = OpCost {
+            ios: d.ios,
+            bytes_read: d.bytes_read,
+            bytes_written: d.bytes_written,
+            io_time_ns: d.io_time_ns,
+        };
+    }
+}
+
+impl Dictionary for LsmTree {
+    fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<(), KvError> {
+        let snap = self.pager.snapshot();
+        self.update(key, Some(value.to_vec()))?;
+        self.finish_op(&snap);
+        Ok(())
+    }
+
+    fn delete(&mut self, key: &[u8]) -> Result<(), KvError> {
+        let snap = self.pager.snapshot();
+        self.update(key, None)?;
+        self.finish_op(&snap);
+        Ok(())
+    }
+
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
+        let snap = self.pager.snapshot();
+        let r = self.get_inner(key);
+        self.finish_op(&snap);
+        r
+    }
+
+    fn range(&mut self, start: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>, KvError> {
+        let snap = self.pager.snapshot();
+        let r = if start < end { self.range_inner(start, end) } else { Ok(Vec::new()) };
+        self.finish_op(&snap);
+        r
+    }
+
+    fn last_op_cost(&self) -> OpCost {
+        self.last_cost
+    }
+
+    fn sync(&mut self) -> Result<(), KvError> {
+        let snap = self.pager.snapshot();
+        self.flush_memtable()?;
+        self.pager.flush().map_err(map_pager)?;
+        self.finish_op(&snap);
+        Ok(())
+    }
+
+    /// Exact live-key count via a full merge scan (O(N) IO).
+    fn len(&mut self) -> Result<u64, KvError> {
+        let all = self.range_inner(&[], &[0xFFu8; 64])?;
+        Ok(all.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dam_kv::key_from_u64;
+    use dam_storage::{RamDisk, SimDuration};
+
+    fn tree(sstable_bytes: usize) -> LsmTree {
+        let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 28, SimDuration(1000))));
+        let mut cfg = LsmConfig::new(sstable_bytes, 1 << 20);
+        cfg.memtable_bytes = sstable_bytes / 2;
+        cfg.block_bytes = 512;
+        cfg.level_ratio = 4;
+        cfg.l0_limit = 2;
+        LsmTree::create(dev, cfg).unwrap()
+    }
+
+    fn kv(i: u64) -> (Vec<u8>, Vec<u8>) {
+        (key_from_u64(i).to_vec(), format!("value-{i:08}").into_bytes())
+    }
+
+    #[test]
+    fn empty_tree() {
+        let mut t = tree(4096);
+        assert_eq!(t.get(b"x").unwrap(), None);
+        assert_eq!(t.len().unwrap(), 0);
+        assert!(t.range(b"a", b"z").unwrap().is_empty());
+        assert_eq!(t.check_invariants().unwrap(), 0);
+    }
+
+    #[test]
+    fn insert_get_through_compactions() {
+        let mut t = tree(2048);
+        for i in 0..3000 {
+            let (k, v) = kv(i);
+            t.insert(&k, &v).unwrap();
+        }
+        // Should have spilled well past L0.
+        let counts = t.level_table_counts();
+        assert!(counts.len() > 1, "levels: {counts:?}");
+        assert!(counts.iter().skip(1).any(|&c| c > 0), "levels: {counts:?}");
+        for i in (0..3000).step_by(97) {
+            let (k, v) = kv(i);
+            assert_eq!(t.get(&k).unwrap(), Some(v), "key {i}");
+        }
+        assert_eq!(t.check_invariants().unwrap(), 3000);
+        assert_eq!(t.len().unwrap(), 3000);
+    }
+
+    #[test]
+    fn random_order_and_overwrites() {
+        let mut t = tree(2048);
+        let keys: Vec<u64> = (0..2000).map(|i| (i * 1237) % 1000).collect();
+        for (round, &i) in keys.iter().enumerate() {
+            let k = key_from_u64(i);
+            t.insert(&k, &(round as u64).to_le_bytes()).unwrap();
+        }
+        // Latest write wins: find the last round for a few keys.
+        for probe in [0u64, 123, 999] {
+            let last = keys.iter().rposition(|&k| k == probe);
+            let got = t.get(&key_from_u64(probe)).unwrap();
+            match last {
+                Some(r) => assert_eq!(got, Some((r as u64).to_le_bytes().to_vec()), "key {probe}"),
+                None => assert_eq!(got, None),
+            }
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn tombstones_across_levels() {
+        let mut t = tree(2048);
+        for i in 0..1500 {
+            let (k, v) = kv(i);
+            t.insert(&k, &v).unwrap();
+        }
+        for i in (0..1500).step_by(2) {
+            let (k, _) = kv(i);
+            t.delete(&k).unwrap();
+        }
+        for i in 0..1500 {
+            let (k, v) = kv(i);
+            let expect = if i % 2 == 0 { None } else { Some(v) };
+            assert_eq!(t.get(&k).unwrap(), expect, "key {i}");
+        }
+        assert_eq!(t.len().unwrap(), 750);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn range_merges_all_sources() {
+        let mut t = tree(2048);
+        for i in 0..1000 {
+            let (k, v) = kv(i);
+            t.insert(&k, &v).unwrap();
+        }
+        // Overwrite a band (lands in the memtable) and delete another.
+        for i in 100..110 {
+            let k = key_from_u64(i);
+            t.insert(&k, b"fresh").unwrap();
+        }
+        for i in 110..115 {
+            let (k, _) = kv(i);
+            t.delete(&k).unwrap();
+        }
+        let out = t.range(&key_from_u64(95), &key_from_u64(120)).unwrap();
+        let keys: Vec<u64> = out.iter().map(|(k, _)| dam_kv::key_to_u64(k).unwrap()).collect();
+        let expect: Vec<u64> = (95..110).chain(115..120).collect();
+        assert_eq!(keys, expect);
+        for (k, v) in &out {
+            let i = dam_kv::key_to_u64(k).unwrap();
+            if (100..110).contains(&i) {
+                assert_eq!(v, b"fresh");
+            }
+        }
+    }
+
+    #[test]
+    fn point_read_cost_is_blocks_not_tables() {
+        let mut t = tree(8192);
+        for i in 0..5000 {
+            let (k, v) = kv(i);
+            t.insert(&k, &v).unwrap();
+        }
+        t.sync().unwrap();
+        t.drop_cache().unwrap();
+        let (k, _) = kv(2500);
+        t.get(&k).unwrap();
+        let c = t.last_op_cost();
+        // A point read touches at most a block per sorted run on the path.
+        assert!(c.ios <= 8, "ios {}", c.ios);
+        assert!(c.bytes_read < 8 * 1024, "bytes {}", c.bytes_read);
+    }
+
+    #[test]
+    fn write_amp_is_moderate() {
+        let mut t = tree(4096);
+        let n = 4000u64;
+        for i in 0..n {
+            let (k, v) = kv((i * 2654435761) % 100_000);
+            t.insert(&k, &v).unwrap();
+        }
+        t.sync().unwrap();
+        let written = t.pager().counters().bytes_written as f64;
+        let logical = (n * 40) as f64; // ~40 bytes per entry footprint
+        let amp = written / logical;
+        // Leveled LSM write amp ~ ratio × levels — way below the B-tree's
+        // node-size amp, way above 1.
+        assert!(amp > 1.5 && amp < 60.0, "write amp {amp}");
+    }
+
+    #[test]
+    fn sync_persists_memtable() {
+        let mut t = tree(1 << 20); // huge memtable: nothing auto-flushes
+        for i in 0..50 {
+            let (k, v) = kv(i);
+            t.insert(&k, &v).unwrap();
+        }
+        assert_eq!(t.level_table_counts(), vec![0]);
+        t.sync().unwrap();
+        assert_eq!(t.level_table_counts(), vec![1]);
+        t.drop_cache().unwrap();
+        let (k, v) = kv(25);
+        assert_eq!(t.get(&k).unwrap(), Some(v));
+    }
+
+    #[test]
+    fn oversized_entry_rejected() {
+        let mut t = tree(4096);
+        assert!(matches!(t.insert(b"k", &vec![0u8; 4096]), Err(KvError::Config(_))));
+    }
+
+    #[test]
+    fn deep_levels_stay_sorted_nonoverlapping() {
+        let mut t = tree(1024);
+        for i in 0..6000 {
+            let k = key_from_u64((i * 7919) % 3000);
+            t.insert(&k, &[(i % 251) as u8; 30]).unwrap();
+        }
+        t.check_invariants().unwrap();
+        let counts = t.level_table_counts();
+        assert!(counts.len() >= 3, "expected several levels: {counts:?}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests: the LSM-tree behaves exactly like
+//! `std::collections::BTreeMap` under arbitrary operation sequences, across
+//! memtable flushes, L0 spills, and multi-level compactions.
+
+use dam_kv::{key_from_u64, Dictionary};
+use dam_lsm::{LsmConfig, LsmTree};
+use dam_storage::{RamDisk, SharedDevice, SimDuration};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u8),
+    Delete(u16),
+    Get(u16),
+    Range(u16, u16),
+    Sync,
+    DropCache,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
+        2 => any::<u16>().prop_map(|k| Op::Delete(k % 512)),
+        2 => any::<u16>().prop_map(|k| Op::Get(k % 512)),
+        1 => (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::Range(a % 512, b % 512)),
+        1 => Just(Op::Sync),
+        1 => Just(Op::DropCache),
+    ]
+}
+
+fn value_for(v: u8) -> Vec<u8> {
+    vec![v; 8 + (v as usize % 24)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn lsm_equals_btreemap(
+        ops in prop::collection::vec(op_strategy(), 1..250),
+        memtable_bytes in prop::sample::select(vec![256usize, 512, 2048]),
+    ) {
+        let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 26, SimDuration(100))));
+        let mut cfg = LsmConfig::new(1024, 1 << 16);
+        cfg.memtable_bytes = memtable_bytes;
+        cfg.block_bytes = 256;
+        cfg.level_ratio = 3;
+        cfg.l0_limit = 2;
+        let mut tree = LsmTree::create(dev, cfg).unwrap();
+        let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let value = value_for(v);
+                    tree.insert(&key_from_u64(k as u64), &value).unwrap();
+                    model.insert(k as u64, value);
+                }
+                Op::Delete(k) => {
+                    tree.delete(&key_from_u64(k as u64)).unwrap();
+                    model.remove(&(k as u64));
+                }
+                Op::Get(k) => {
+                    let got = tree.get(&key_from_u64(k as u64)).unwrap();
+                    prop_assert_eq!(got.as_ref(), model.get(&(k as u64)));
+                }
+                Op::Range(a, b) => {
+                    let (lo, hi) = (a.min(b) as u64, a.max(b) as u64);
+                    let got = tree.range(&key_from_u64(lo), &key_from_u64(hi)).unwrap();
+                    let expect: Vec<(Vec<u8>, Vec<u8>)> = model
+                        .range(lo..hi)
+                        .map(|(&k, v)| (key_from_u64(k).to_vec(), v.clone()))
+                        .collect();
+                    prop_assert_eq!(got, expect);
+                }
+                Op::Sync => tree.sync().unwrap(),
+                Op::DropCache => tree.drop_cache().unwrap(),
+            }
+        }
+
+        prop_assert_eq!(tree.check_invariants().unwrap(), model.len() as u64);
+        let all = tree.range(&[], &[0xFF; 17]).unwrap();
+        let expect: Vec<(Vec<u8>, Vec<u8>)> =
+            model.iter().map(|(&k, v)| (key_from_u64(k).to_vec(), v.clone())).collect();
+        prop_assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn compaction_preserves_everything(keys in prop::collection::btree_map(any::<u16>(), any::<u8>(), 1..400)) {
+        // Insert enough duplicates/volume to force several compactions,
+        // then verify exact content.
+        let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 26, SimDuration(100))));
+        let mut cfg = LsmConfig::new(512, 1 << 16);
+        cfg.memtable_bytes = 256;
+        cfg.block_bytes = 128;
+        cfg.level_ratio = 2;
+        cfg.l0_limit = 1;
+        let mut tree = LsmTree::create(dev, cfg).unwrap();
+        for (&k, &v) in &keys {
+            tree.insert(&key_from_u64(k as u64), &value_for(v)).unwrap();
+        }
+        for (&k, &v) in &keys {
+            let got = tree.get(&key_from_u64(k as u64)).unwrap();
+            prop_assert_eq!(got, Some(value_for(v)), "key {}", k);
+        }
+        prop_assert_eq!(tree.len().unwrap(), keys.len() as u64);
+    }
+}

@@ -1,0 +1,136 @@
+//! The affine IO model (Definition 2): an IO of `x` bytes costs `1 + α·x`.
+//!
+//! Most predictive of hard disks, where the unit setup cost is the seek and
+//! `α = t/s` for transfer time `t` (seconds/byte) and setup time `s`
+//! (seconds). `α ≪ 1` on real hardware: the 2018 WD Red of Table 2 has
+//! `α ≈ 0.0017` per 4 KiB block, i.e. ≈ 4.1e-7 per byte.
+
+use serde::{Deserialize, Serialize};
+
+/// Affine model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Affine {
+    /// Normalized bandwidth cost per **byte**: an IO of `x` bytes costs
+    /// `1 + alpha * x` setup-cost units.
+    pub alpha: f64,
+}
+
+impl Affine {
+    /// Build from a per-byte `α`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive and finite");
+        Affine { alpha }
+    }
+
+    /// Build from hardware constants: setup time `s` (seconds) and transfer
+    /// time `t` (seconds per byte); `α = t/s` (§2.3).
+    pub fn from_hardware(setup_seconds: f64, seconds_per_byte: f64) -> Self {
+        assert!(setup_seconds > 0.0 && seconds_per_byte > 0.0);
+        Affine { alpha: seconds_per_byte / setup_seconds }
+    }
+
+    /// Cost of one IO of `bytes` bytes, in setup-cost units.
+    #[inline]
+    pub fn io_cost(&self, bytes: f64) -> f64 {
+        1.0 + self.alpha * bytes
+    }
+
+    /// Cost in seconds of one IO, given the device's setup time in seconds.
+    #[inline]
+    pub fn io_seconds(&self, bytes: f64, setup_seconds: f64) -> f64 {
+        setup_seconds * self.io_cost(bytes)
+    }
+
+    /// The half-bandwidth point: the IO size where setup cost equals
+    /// transfer cost, i.e. `B = 1/α` bytes.
+    ///
+    /// Setting the DAM block size here makes the DAM approximate affine cost
+    /// to within a factor of 2 (Lemma 1), and is the asymptotically optimal
+    /// B-tree node size of Corollary 6.
+    #[inline]
+    pub fn half_bandwidth_bytes(&self) -> f64 {
+        1.0 / self.alpha
+    }
+
+    /// Effective bandwidth utilization of IOs of `bytes` bytes: the fraction
+    /// of the IO's cost spent actually transferring data,
+    /// `αx / (1 + αx)`. Reaches 1/2 exactly at the half-bandwidth point.
+    pub fn bandwidth_utilization(&self, bytes: f64) -> f64 {
+        let t = self.alpha * bytes;
+        t / (1.0 + t)
+    }
+
+    /// Cost of reading `total_bytes` sequentially using IOs of `io_bytes`:
+    /// `ceil(total/io) · (1 + α·io)`.
+    pub fn scan_cost(&self, total_bytes: f64, io_bytes: f64) -> f64 {
+        let ios = (total_bytes / io_bytes).ceil().max(1.0);
+        ios * self.io_cost(io_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_cost_is_affine() {
+        let m = Affine::new(0.001);
+        assert!((m.io_cost(0.0) - 1.0).abs() < 1e-12);
+        assert!((m.io_cost(1000.0) - 2.0).abs() < 1e-12);
+        assert!((m.io_cost(2000.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_hardware_matches_table2() {
+        // 2018 WD Red: s = 0.016 s, t = 0.000026 s per 4 KiB block.
+        let t_per_byte = 0.000026 / 4096.0;
+        let m = Affine::from_hardware(0.016, t_per_byte);
+        // Table 2 reports alpha = 0.0017 per 4 KiB block.
+        let alpha_per_4k = m.alpha * 4096.0;
+        assert!((alpha_per_4k - 0.0017).abs() < 2e-4, "alpha per 4k = {alpha_per_4k}");
+    }
+
+    #[test]
+    fn half_bandwidth_point_balances_costs() {
+        let m = Affine::new(2.5e-7);
+        let b = m.half_bandwidth_bytes();
+        // At B = 1/alpha, transfer cost = setup cost = 1.
+        assert!((m.io_cost(b) - 2.0).abs() < 1e-9);
+        assert!((m.bandwidth_utilization(b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_monotone_in_io_size() {
+        let m = Affine::new(1e-6);
+        let mut last = -1.0;
+        for exp in 0..24 {
+            let u = m.bandwidth_utilization((1u64 << exp) as f64);
+            assert!(u > last);
+            last = u;
+        }
+        assert!(m.bandwidth_utilization(1e12) > 0.999);
+    }
+
+    #[test]
+    fn scan_cost_prefers_large_ios() {
+        let m = Affine::new(1e-6);
+        let small = m.scan_cost(1e9, 4096.0);
+        let large = m.scan_cost(1e9, 1.0 / m.alpha);
+        assert!(small > large, "small-IO scan should cost more: {small} vs {large}");
+        // With huge IOs the cost approaches alpha * total (pure bandwidth).
+        let huge = m.scan_cost(1e9, 1e9);
+        assert!((huge - (1.0 + 1e-6 * 1e9)).abs() < 1.0);
+    }
+
+    #[test]
+    fn io_seconds_scales_by_setup() {
+        let m = Affine::new(0.001);
+        assert!((m.io_seconds(1000.0, 0.01) - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn zero_alpha_rejected() {
+        let _ = Affine::new(0.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests: Lemma 1's factor-2 equivalence holds on arbitrary traces
+//! and devices, and the analytic optima behave as the corollaries claim.
+
+use dam_models::conversions::lemma1_check;
+use dam_models::optimal::{btree_point_objective, optimal_btree_entries};
+use dam_models::{Affine, Dam, DictShape};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn lemma1_holds_on_arbitrary_traces(
+        alpha_exp in -8.0f64..-2.0,
+        sizes in prop::collection::vec(1.0f64..1e9, 1..200),
+    ) {
+        let affine = Affine::new(10f64.powf(alpha_exp));
+        let report = lemma1_check(&affine, &sizes);
+        prop_assert!(report.holds(), "violated: {report:?}");
+        let f = report.dam_error_factor();
+        prop_assert!((0.5 - 1e-9..=2.0 + 1e-9).contains(&f), "factor {f}");
+    }
+
+    #[test]
+    fn corollary7_optimum_is_minimum_and_below_half_bandwidth(
+        alpha_exp in -7.0f64..-1.5,
+    ) {
+        let alpha = 10f64.powf(alpha_exp);
+        let opt = optimal_btree_entries(alpha);
+        let at = btree_point_objective(alpha, opt);
+        // Local minimality.
+        prop_assert!(btree_point_objective(alpha, opt * 0.5) >= at - 1e-12);
+        prop_assert!(btree_point_objective(alpha, opt * 2.0) >= at - 1e-12);
+        // Corollary 7: o(1/alpha).
+        prop_assert!(opt < 1.0 / alpha, "opt {opt} vs 1/alpha {}", 1.0 / alpha);
+    }
+
+    #[test]
+    fn dam_io_count_matches_ceil(block in 1.0f64..1e6, bytes in 0.0f64..1e9) {
+        let dam = Dam::new(block);
+        let expect = (bytes / block).ceil().max(1.0);
+        prop_assert_eq!(dam.io_count(bytes), expect);
+    }
+
+    #[test]
+    fn affine_cost_monotone_in_size(alpha_exp in -8.0f64..-2.0, a in 1.0f64..1e8, b in 1.0f64..1e8) {
+        let affine = Affine::new(10f64.powf(alpha_exp));
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(affine.io_cost(lo) <= affine.io_cost(hi));
+    }
+
+    #[test]
+    fn btree_cost_decreases_then_increases(
+        alpha_exp in -7.0f64..-4.0,
+    ) {
+        // Unimodality of the point-op cost over a wide sweep: costs at the
+        // extremes exceed the cost at the analytic optimum.
+        let affine = Affine::new(10f64.powf(alpha_exp));
+        let shape = DictShape::new(1e10, 1e3, 116.0, 24.0);
+        let opt = dam_models::btree_costs::point_op_optimal_node_bytes(&affine, &shape);
+        let c_opt = dam_models::btree_costs::point_op_cost(&affine, &shape, opt);
+        let c_small = dam_models::btree_costs::point_op_cost(&affine, &shape, 256.0);
+        let c_big = dam_models::btree_costs::point_op_cost(&affine, &shape, 1e4 / affine.alpha);
+        prop_assert!(c_small >= c_opt, "small {c_small} vs opt {c_opt}");
+        prop_assert!(c_big >= c_opt, "big {c_big} vs opt {c_opt}");
+    }
+
+    #[test]
+    fn half_bandwidth_balances(alpha_exp in -9.0f64..-1.0) {
+        let affine = Affine::new(10f64.powf(alpha_exp));
+        let b = affine.half_bandwidth_bytes();
+        prop_assert!((affine.io_cost(b) - 2.0).abs() < 1e-9);
+    }
+}

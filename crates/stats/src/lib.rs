@@ -1,0 +1,76 @@
+//! Regression and summary statistics for fitting DAM-refinement models.
+//!
+//! The paper validates the affine and PDAM models by fitting straight lines
+//! (§4.2, Table 2) and segmented straight lines (§4.1, Table 1) to device
+//! microbenchmark measurements and reporting `R²` goodness of fit. This crate
+//! provides exactly those tools:
+//!
+//! * [`linreg`] — ordinary least squares with `R²` and RMS residuals,
+//! * [`segmented`] — two-piece segmented regression with breakpoint search,
+//!   including the *flat-then-linear* form used to derive the device
+//!   parallelism `P` from a thread-scaling curve,
+//! * [`summary`] — streaming summary statistics (Welford) and percentiles.
+//!
+//! All routines are deterministic and allocation-light; they operate on
+//! `&[f64]` slices so callers can keep their own storage.
+
+pub mod linreg;
+pub mod segmented;
+pub mod summary;
+
+pub use linreg::{fit_line, r_squared, rms_error, LinearFit};
+pub use segmented::{fit_flat_then_linear, fit_segmented, FlatThenLinearFit, SegmentedFit};
+pub use summary::{percentile, Summary};
+
+/// Errors produced by the fitting routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// Fewer observations than the model's degrees of freedom.
+    TooFewPoints {
+        /// Number of points supplied.
+        got: usize,
+        /// Minimum number required.
+        need: usize,
+    },
+    /// `xs` and `ys` differ in length.
+    LengthMismatch {
+        /// Length of the x slice.
+        xs: usize,
+        /// Length of the y slice.
+        ys: usize,
+    },
+    /// All x values are identical, so a slope cannot be determined.
+    DegenerateX,
+    /// An input value was NaN or infinite.
+    NonFinite,
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsError::TooFewPoints { got, need } => {
+                write!(f, "too few points: got {got}, need at least {need}")
+            }
+            StatsError::LengthMismatch { xs, ys } => {
+                write!(f, "input length mismatch: {xs} xs vs {ys} ys")
+            }
+            StatsError::DegenerateX => write!(f, "all x values identical; slope undetermined"),
+            StatsError::NonFinite => write!(f, "input contains NaN or infinite values"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+pub(crate) fn check_xy(xs: &[f64], ys: &[f64], need: usize) -> Result<(), StatsError> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::LengthMismatch { xs: xs.len(), ys: ys.len() });
+    }
+    if xs.len() < need {
+        return Err(StatsError::TooFewPoints { got: xs.len(), need });
+    }
+    if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
+        return Err(StatsError::NonFinite);
+    }
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! Property tests: regressions recover planted parameters and stay
+//! numerically sane on arbitrary inputs.
+
+use dam_stats::{fit_flat_then_linear, fit_line, fit_segmented, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn exact_line_recovered(
+        intercept in -1e6f64..1e6,
+        slope in -1e3f64..1e3,
+        n in 3usize..100,
+    ) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| intercept + slope * x).collect();
+        let fit = fit_line(&xs, &ys).unwrap();
+        prop_assert!((fit.intercept - intercept).abs() < 1e-6 * (1.0 + intercept.abs()));
+        prop_assert!((fit.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        prop_assert!(fit.r2 > 1.0 - 1e-9 || slope == 0.0);
+    }
+
+    #[test]
+    fn r2_never_exceeds_one(
+        ys in prop::collection::vec(-1e6f64..1e6, 4..50),
+    ) {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let fit = fit_line(&xs, &ys).unwrap();
+        prop_assert!(fit.r2 <= 1.0 + 1e-12, "r2 = {}", fit.r2);
+        prop_assert!(fit.rms >= 0.0);
+    }
+
+    #[test]
+    fn planted_breakpoint_recovered(
+        knee in 3usize..12,
+        left_level in 1.0f64..100.0,
+        right_slope in 0.5f64..50.0,
+    ) {
+        // Ideal PDAM curve with a knee at `knee`.
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| if x <= knee as f64 { left_level } else { left_level + right_slope * (x - knee as f64) })
+            .collect();
+        let fit = fit_flat_then_linear(&xs, &ys).unwrap();
+        prop_assert!(
+            (fit.knee_x - knee as f64).abs() <= 1.0,
+            "knee {} vs planted {}",
+            fit.knee_x,
+            knee
+        );
+        prop_assert!((fit.flat_level - left_level).abs() < 1e-6 * left_level);
+    }
+
+    #[test]
+    fn segmented_never_fits_worse_than_single_line(
+        ys in prop::collection::vec(0.0f64..1e4, 6..40),
+    ) {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let single = fit_line(&xs, &ys).unwrap();
+        if let Ok(seg) = fit_segmented(&xs, &ys) {
+            // More parameters can only improve (or match) the fit.
+            prop_assert!(seg.r2 >= single.r2 - 1e-9, "seg {} vs line {}", seg.r2, single.r2);
+        }
+    }
+
+    #[test]
+    fn summary_merge_equals_sequential(
+        a in prop::collection::vec(-1e5f64..1e5, 1..100),
+        b in prop::collection::vec(-1e5f64..1e5, 1..100),
+    ) {
+        let mut whole = Summary::new();
+        for &v in a.iter().chain(&b) {
+            whole.add(v);
+        }
+        let mut merged = Summary::of(&a);
+        merged.merge(&Summary::of(&b));
+        prop_assert_eq!(whole.count(), merged.count());
+        prop_assert!((whole.mean() - merged.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!(
+            (whole.variance() - merged.variance()).abs()
+                < 1e-5 * (1.0 + whole.variance().abs())
+        );
+        prop_assert_eq!(whole.min(), merged.min());
+        prop_assert_eq!(whole.max(), merged.max());
+    }
+
+    #[test]
+    fn summary_bounds_hold(values in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::of(&values);
+        prop_assert!(s.min() <= s.mean() && s.mean() <= s.max());
+        prop_assert!(s.variance() >= 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! The simulated clock: nanosecond-resolution timestamps and durations.
+//!
+//! Every device computes IO completion times on this axis; experiment
+//! harnesses report `SimDuration`s as the "wall-clock" of the simulated
+//! machine. Keeping time integral (u64 ns) makes runs bit-reproducible and
+//! comparisons exact.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in nanoseconds since simulation start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// Simulation origin.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Elapsed time since `earlier`; saturates at zero if `earlier` is later.
+    pub fn since(&self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Timestamp as fractional seconds.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The later of two timestamps.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// From fractional seconds, rounding to the nearest nanosecond and
+    /// saturating on overflow/negative input.
+    pub fn from_secs_f64(secs: f64) -> SimDuration {
+        if secs.is_nan() || secs <= 0.0 {
+            return SimDuration(0);
+        }
+        let ns = secs * 1e9;
+        if ns >= u64::MAX as f64 {
+            SimDuration(u64::MAX)
+        } else {
+            SimDuration(ns.round() as u64)
+        }
+    }
+
+    /// From integer microseconds.
+    pub fn from_micros(us: u64) -> SimDuration {
+        SimDuration(us.saturating_mul(1_000))
+    }
+
+    /// From integer milliseconds.
+    pub fn from_millis(ms: u64) -> SimDuration {
+        SimDuration(ms.saturating_mul(1_000_000))
+    }
+
+    /// Duration as fractional seconds.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration as fractional milliseconds.
+    pub fn as_millis_f64(&self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration as fractional microseconds.
+    pub fn as_micros_f64(&self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}ns", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.2}us", self.as_micros_f64())
+        } else if self.0 < 1_000_000_000 {
+            write!(f, "{:.2}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime(1_000);
+        let d = SimDuration(500);
+        assert_eq!(t + d, SimTime(1_500));
+        assert_eq!((t + d) - t, d);
+        assert_eq!(t.since(t + d), SimDuration::ZERO); // saturating
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        let d = SimDuration::from_secs_f64(1.5);
+        assert_eq!(d.0, 1_500_000_000);
+        assert!((d.as_secs_f64() - 1.5).abs() < 1e-12);
+        assert!((d.as_millis_f64() - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_and_nan_durations_clamp_to_zero() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY).0, u64::MAX);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(format!("{}", SimDuration(12)), "12ns");
+        assert_eq!(format!("{}", SimDuration(12_000)), "12.00us");
+        assert_eq!(format!("{}", SimDuration(12_000_000)), "12.00ms");
+        assert_eq!(format!("{}", SimDuration(12_000_000_000)), "12.000s");
+    }
+
+    #[test]
+    fn max_and_ordering() {
+        assert_eq!(SimTime(3).max(SimTime(5)), SimTime(5));
+        assert!(SimTime(3) < SimTime(5));
+    }
+
+    #[test]
+    fn from_micros_and_millis() {
+        assert_eq!(SimDuration::from_micros(7).0, 7_000);
+        assert_eq!(SimDuration::from_millis(7).0, 7_000_000);
+    }
+}

@@ -1,0 +1,173 @@
+//! Fault injection: wrap any device and make it fail on demand.
+//!
+//! Used by the failure-injection tests to verify that device errors
+//! propagate through the pager and the dictionaries as typed errors (never
+//! panics or silent corruption), and that the structures keep working once
+//! the fault clears.
+
+use crate::clock::SimTime;
+use crate::device::{BlockDevice, DeviceStats, IoCompletion, IoError};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// What the injector should fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultMode {
+    /// Pass everything through.
+    #[default]
+    None,
+    /// Fail every IO.
+    All,
+    /// Fail reads only.
+    Reads,
+    /// Fail writes only.
+    Writes,
+    /// Pass the next `n` IOs, then fail everything.
+    AfterIos(u64),
+}
+
+/// Shared switch controlling an injector from outside the device box.
+#[derive(Clone, Default)]
+pub struct FaultSwitch {
+    inner: Arc<Mutex<FaultState>>,
+}
+
+#[derive(Default)]
+struct FaultState {
+    mode: FaultMode,
+    ios_seen: u64,
+    faults_injected: u64,
+}
+
+impl FaultSwitch {
+    /// A switch in pass-through mode.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Change the fault mode (resets the IO countdown).
+    pub fn set(&self, mode: FaultMode) {
+        let mut s = self.inner.lock();
+        s.mode = mode;
+        s.ios_seen = 0;
+    }
+
+    /// Number of faults injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.inner.lock().faults_injected
+    }
+
+    fn check(&self, is_write: bool) -> Result<(), IoError> {
+        let mut s = self.inner.lock();
+        s.ios_seen += 1;
+        let fail = match s.mode {
+            FaultMode::None => false,
+            FaultMode::All => true,
+            FaultMode::Reads => !is_write,
+            FaultMode::Writes => is_write,
+            FaultMode::AfterIos(n) => s.ios_seen > n,
+        };
+        if fail {
+            s.faults_injected += 1;
+            Err(IoError::Faulted)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// A device wrapper that injects faults per its [`FaultSwitch`].
+pub struct FaultInjector<D: BlockDevice> {
+    inner: D,
+    switch: FaultSwitch,
+}
+
+impl<D: BlockDevice> FaultInjector<D> {
+    /// Wrap `inner`; returns the injector and its control switch.
+    pub fn new(inner: D) -> (Self, FaultSwitch) {
+        let switch = FaultSwitch::new();
+        (FaultInjector { inner, switch: switch.clone() }, switch)
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for FaultInjector<D> {
+    fn capacity_bytes(&self) -> u64 {
+        self.inner.capacity_bytes()
+    }
+
+    fn read(&mut self, offset: u64, buf: &mut [u8], now: SimTime) -> Result<IoCompletion, IoError> {
+        self.switch.check(false)?;
+        self.inner.read(offset, buf, now)
+    }
+
+    fn write(&mut self, offset: u64, data: &[u8], now: SimTime) -> Result<IoCompletion, IoError> {
+        self.switch.check(true)?;
+        self.inner.write(offset, data, now)
+    }
+
+    fn stats(&self) -> DeviceStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats()
+    }
+
+    fn describe(&self) -> String {
+        format!("fault-injected {}", self.inner.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimDuration;
+    use crate::ramdisk::RamDisk;
+
+    fn dev() -> (FaultInjector<RamDisk>, FaultSwitch) {
+        FaultInjector::new(RamDisk::new(1 << 16, SimDuration(10)))
+    }
+
+    #[test]
+    fn passthrough_by_default() {
+        let (mut d, sw) = dev();
+        d.write(0, &[1, 2, 3], SimTime::ZERO).unwrap();
+        let mut buf = [0u8; 3];
+        d.read(0, &mut buf, SimTime::ZERO).unwrap();
+        assert_eq!(buf, [1, 2, 3]);
+        assert_eq!(sw.faults_injected(), 0);
+    }
+
+    #[test]
+    fn fail_all_then_recover() {
+        let (mut d, sw) = dev();
+        sw.set(FaultMode::All);
+        assert_eq!(d.write(0, &[1], SimTime::ZERO), Err(IoError::Faulted));
+        let mut buf = [0u8; 1];
+        assert_eq!(d.read(0, &mut buf, SimTime::ZERO), Err(IoError::Faulted));
+        assert_eq!(sw.faults_injected(), 2);
+        sw.set(FaultMode::None);
+        assert!(d.write(0, &[1], SimTime::ZERO).is_ok());
+    }
+
+    #[test]
+    fn directional_faults() {
+        let (mut d, sw) = dev();
+        sw.set(FaultMode::Reads);
+        assert!(d.write(0, &[1], SimTime::ZERO).is_ok());
+        let mut buf = [0u8; 1];
+        assert_eq!(d.read(0, &mut buf, SimTime::ZERO), Err(IoError::Faulted));
+        sw.set(FaultMode::Writes);
+        assert!(d.read(0, &mut buf, SimTime::ZERO).is_ok());
+        assert_eq!(d.write(0, &[1], SimTime::ZERO), Err(IoError::Faulted));
+    }
+
+    #[test]
+    fn countdown_faults() {
+        let (mut d, sw) = dev();
+        sw.set(FaultMode::AfterIos(2));
+        assert!(d.write(0, &[1], SimTime::ZERO).is_ok());
+        assert!(d.write(1, &[1], SimTime::ZERO).is_ok());
+        assert_eq!(d.write(2, &[1], SimTime::ZERO), Err(IoError::Faulted));
+    }
+}

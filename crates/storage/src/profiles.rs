@@ -1,0 +1,157 @@
+//! Simulated stand-ins for the physical devices of §4 and §7.
+//!
+//! HDD profiles are constructed so their *fitted* affine parameters land on
+//! the `s`/`t` values of Table 2; SSD profiles so their unit counts and
+//! saturated throughput land near the `P`/`∝PB` values of Table 1. Capacities
+//! are scaled down (16–32 GiB) so experiments stay laptop-sized — the models
+//! depend on ratios and device constants, not on capacity.
+
+use crate::hdd::HddProfile;
+use crate::ssd::SsdProfile;
+
+const GIB: u64 = 1 << 30;
+
+/// Table 2, row 1: 2 TB Seagate (2002): `s = 0.018 s`, `t = 21 µs / 4 KiB`.
+pub fn seagate_2tb_2002() -> HddProfile {
+    HddProfile::from_affine_targets("2 TB Seagate", 2002, 32 * GIB, 7200.0, 0.018, 0.000021)
+}
+
+/// Table 2, row 2: 250 GB Seagate (2006): `s = 0.015 s`, `t = 33 µs / 4 KiB`.
+pub fn seagate_250gb_2006() -> HddProfile {
+    HddProfile::from_affine_targets("250 GB Seagate", 2006, 32 * GIB, 7200.0, 0.015, 0.000033)
+}
+
+/// Table 2, row 3: 1 TB Hitachi (2009): `s = 0.013 s`, `t = 41 µs / 4 KiB`.
+pub fn hitachi_1tb_2009() -> HddProfile {
+    HddProfile::from_affine_targets("1 TB Hitachi", 2009, 32 * GIB, 7200.0, 0.013, 0.000041)
+}
+
+/// Table 2, row 4: 1 TB WD Black (2011): `s = 0.012 s`, `t = 35 µs / 4 KiB`.
+pub fn wd_black_1tb_2011() -> HddProfile {
+    HddProfile::from_affine_targets("1 TB WD Black", 2011, 32 * GIB, 7200.0, 0.012, 0.000035)
+}
+
+/// Table 2, row 5: 6 TB WD Red (2018, 5400 rpm): `s = 0.016 s`,
+/// `t = 26 µs / 4 KiB`.
+pub fn wd_red_6tb_2018() -> HddProfile {
+    HddProfile::from_affine_targets("6 TB WD Red", 2018, 32 * GIB, 5400.0, 0.016, 0.000026)
+}
+
+/// The §4 testbed drive backing Figures 2–3: 500 GiB Toshiba DT01ACA050
+/// (7200 rpm). Parameters interpolated from the Table 2 era.
+pub fn toshiba_dt01aca050() -> HddProfile {
+    HddProfile::from_affine_targets(
+        "500 GiB Toshiba DT01ACA050",
+        2013,
+        32 * GIB,
+        7200.0,
+        0.014,
+        0.000028,
+    )
+}
+
+/// All Table 2 HDD profiles in row order.
+pub fn table2_hdds() -> Vec<HddProfile> {
+    vec![
+        seagate_2tb_2002(),
+        seagate_250gb_2006(),
+        hitachi_1tb_2009(),
+        wd_black_1tb_2011(),
+        wd_red_6tb_2018(),
+    ]
+}
+
+/// Table 1, row 1: Samsung 860 pro — `P ≈ 3.3`, saturation `≈ 530 MB/s`.
+pub fn samsung_860_pro() -> SsdProfile {
+    SsdProfile::from_pdam_targets("Samsung 860 pro", 16 * GIB, 3.3, 530.0)
+}
+
+/// Table 1, row 2: Samsung 970 pro (NVMe) — `P ≈ 5.5`, saturation
+/// `≈ 2500 MB/s`.
+pub fn samsung_970_pro() -> SsdProfile {
+    SsdProfile::from_pdam_targets("Samsung 970 pro", 16 * GIB, 5.5, 2500.0)
+}
+
+/// Table 1, row 3: Silicon Power S55 — `P ≈ 2.9`, saturation `≈ 260 MB/s`.
+pub fn silicon_power_s55() -> SsdProfile {
+    SsdProfile::from_pdam_targets("Silicon Power S55", 16 * GIB, 2.9, 260.0)
+}
+
+/// Table 1, row 4: SanDisk Ultra II — `P ≈ 4.6`, saturation `≈ 520 MB/s`.
+pub fn sandisk_ultra_ii() -> SsdProfile {
+    SsdProfile::from_pdam_targets("Sandisk Ultra II", 16 * GIB, 4.6, 520.0)
+}
+
+/// The §4 testbed SSD: 250 GiB Samsung 860 EVO.
+pub fn samsung_860_evo() -> SsdProfile {
+    SsdProfile::from_pdam_targets("250 GiB Samsung 860 EVO", 16 * GIB, 3.5, 520.0)
+}
+
+/// All Table 1 SSD profiles in row order.
+pub fn table1_ssds() -> Vec<SsdProfile> {
+    vec![samsung_860_pro(), samsung_970_pro(), silicon_power_s55(), sandisk_ultra_ii()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_profiles_hit_affine_targets() {
+        let targets = [
+            (0.018, 0.000021),
+            (0.015, 0.000033),
+            (0.013, 0.000041),
+            (0.012, 0.000035),
+            (0.016, 0.000026),
+        ];
+        for (p, (s, t)) in table2_hdds().iter().zip(targets) {
+            assert!(
+                (p.expected_setup_s() - s).abs() / s < 0.01,
+                "{}: setup {} vs {}",
+                p.name,
+                p.expected_setup_s(),
+                s
+            );
+            let t_4k = p.expected_seconds_per_byte() * 4096.0;
+            assert!((t_4k - t).abs() / t < 0.01, "{}: t {} vs {}", p.name, t_4k, t);
+        }
+    }
+
+    #[test]
+    fn table2_alphas_match_paper() {
+        // Paper Table 2 alpha column: 0.0012, 0.0022, 0.0031, 0.0029, 0.0017
+        // (per 4 KiB block).
+        let alphas = [0.0012, 0.0022, 0.0031, 0.0029, 0.0017];
+        for (p, a) in table2_hdds().iter().zip(alphas) {
+            let got = p.alpha_per_byte() * 4096.0;
+            assert!((got - a).abs() / a < 0.05, "{}: alpha {} vs {}", p.name, got, a);
+        }
+    }
+
+    #[test]
+    fn table1_profiles_hit_saturation_targets() {
+        let targets = [530.0, 2500.0, 260.0, 520.0];
+        for (p, mb_s) in table1_ssds().iter().zip(targets) {
+            let got = p.saturated_read_rate() / 1e6;
+            assert!((got - mb_s).abs() / mb_s < 0.02, "{}: {} vs {}", p.name, got, mb_s);
+        }
+    }
+
+    #[test]
+    fn ssd_profiles_hit_effective_p_targets() {
+        // Table 1's fitted P: 3.3, 5.5, 2.9, 4.6.
+        let fitted = [3.3, 5.5, 2.9, 4.6];
+        for (p, f) in table1_ssds().iter().zip(fitted) {
+            let got = p.effective_p(64 * 1024);
+            assert!((got - f).abs() < 0.05, "{}: effective P {} vs {}", p.name, got, f);
+        }
+    }
+
+    #[test]
+    fn nvme_faster_than_sata() {
+        let sata = samsung_860_pro();
+        let nvme = samsung_970_pro();
+        assert!(nvme.read_latency_s(64 * 1024) < sata.read_latency_s(64 * 1024));
+    }
+}

@@ -1,0 +1,144 @@
+//! Sparse byte store backing every simulated device.
+//!
+//! Devices advertise multi-gigabyte LBA ranges but experiments only touch a
+//! fraction; a page-granular hash map keeps memory proportional to the bytes
+//! actually written. Unwritten regions read back as zeroes, like a fresh
+//! drive.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+/// Allocation granularity of the sparse store (4 KiB).
+pub const STORE_PAGE_BYTES: usize = 1 << PAGE_SHIFT;
+
+/// A sparse, zero-initialized byte array addressed by absolute offset.
+#[derive(Debug, Default)]
+pub struct SparseStore {
+    pages: HashMap<u64, Box<[u8; STORE_PAGE_BYTES]>>,
+}
+
+impl SparseStore {
+    /// New empty store.
+    pub fn new() -> Self {
+        SparseStore { pages: HashMap::new() }
+    }
+
+    /// Number of 4 KiB pages currently materialized.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Resident memory in bytes (data only).
+    pub fn resident_bytes(&self) -> usize {
+        self.pages.len() * STORE_PAGE_BYTES
+    }
+
+    /// Copy `buf.len()` bytes starting at `offset` into `buf`. Unwritten
+    /// regions yield zeroes.
+    pub fn read(&self, offset: u64, buf: &mut [u8]) {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let pos = offset + done as u64;
+            let page_no = pos >> PAGE_SHIFT;
+            let in_page = (pos & (STORE_PAGE_BYTES as u64 - 1)) as usize;
+            let chunk = (STORE_PAGE_BYTES - in_page).min(buf.len() - done);
+            match self.pages.get(&page_no) {
+                Some(page) => buf[done..done + chunk].copy_from_slice(&page[in_page..in_page + chunk]),
+                None => buf[done..done + chunk].fill(0),
+            }
+            done += chunk;
+        }
+    }
+
+    /// Write `data` starting at `offset`, materializing pages as needed.
+    pub fn write(&mut self, offset: u64, data: &[u8]) {
+        let mut done = 0usize;
+        while done < data.len() {
+            let pos = offset + done as u64;
+            let page_no = pos >> PAGE_SHIFT;
+            let in_page = (pos & (STORE_PAGE_BYTES as u64 - 1)) as usize;
+            let chunk = (STORE_PAGE_BYTES - in_page).min(data.len() - done);
+            let page = self
+                .pages
+                .entry(page_no)
+                .or_insert_with(|| Box::new([0u8; STORE_PAGE_BYTES]));
+            page[in_page..in_page + chunk].copy_from_slice(&data[done..done + chunk]);
+            done += chunk;
+        }
+    }
+
+    /// Drop all contents.
+    pub fn clear(&mut self) {
+        self.pages.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_reads_back_zero() {
+        let s = SparseStore::new();
+        let mut buf = [0xAAu8; 64];
+        s.read(123_456, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+        assert_eq!(s.resident_pages(), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip_within_page() {
+        let mut s = SparseStore::new();
+        s.write(100, b"hello world");
+        let mut buf = [0u8; 11];
+        s.read(100, &mut buf);
+        assert_eq!(&buf, b"hello world");
+        assert_eq!(s.resident_pages(), 1);
+    }
+
+    #[test]
+    fn write_read_roundtrip_across_pages() {
+        let mut s = SparseStore::new();
+        let data: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
+        let offset = (STORE_PAGE_BYTES as u64) - 17; // straddle a boundary
+        s.write(offset, &data);
+        let mut buf = vec![0u8; data.len()];
+        s.read(offset, &mut buf);
+        assert_eq!(buf, data);
+        assert_eq!(s.resident_pages(), 4); // 10000/4096 spans 4 pages here
+    }
+
+    #[test]
+    fn overwrite_is_visible() {
+        let mut s = SparseStore::new();
+        s.write(0, &[1; 100]);
+        s.write(50, &[2; 100]);
+        let mut buf = [0u8; 150];
+        s.read(0, &mut buf);
+        assert!(buf[..50].iter().all(|&b| b == 1));
+        assert!(buf[50..].iter().all(|&b| b == 2));
+    }
+
+    #[test]
+    fn partial_page_reads_mix_written_and_zero() {
+        let mut s = SparseStore::new();
+        s.write(10, &[7; 5]);
+        let mut buf = [0xFFu8; 20];
+        s.read(5, &mut buf);
+        assert_eq!(&buf[..5], &[0; 5]);
+        assert_eq!(&buf[5..10], &[7; 5]);
+        assert_eq!(&buf[10..], &[0; 10]);
+    }
+
+    #[test]
+    fn clear_releases_everything() {
+        let mut s = SparseStore::new();
+        s.write(0, &[1; 8192]);
+        assert!(s.resident_bytes() >= 8192);
+        s.clear();
+        assert_eq!(s.resident_pages(), 0);
+        let mut buf = [9u8; 16];
+        s.read(0, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests: every device preserves data under arbitrary write/read
+//! interleavings, and time never runs backwards.
+
+use dam_storage::{BlockDevice, HddDevice, HddProfile, RamDisk, SimDuration, SimTime, SsdDevice, SsdProfile};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const CAP: u64 = 1 << 22; // 4 MiB of address space, chunked
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(u8, u8, u8), // chunk, fill, len class
+    Read(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(c, f, l)| Op::Write(c % 32, f, l % 4)),
+        any::<u8>().prop_map(|c| Op::Read(c % 32)),
+    ]
+}
+
+const CHUNK: u64 = CAP / 32;
+
+fn exercise(device: &mut dyn BlockDevice, ops: &[Op]) -> Result<(), TestCaseError> {
+    // Model: chunk -> (fill byte, length written).
+    let mut model: HashMap<u8, (u8, usize)> = HashMap::new();
+    let mut now = SimTime::ZERO;
+    for op in ops {
+        match *op {
+            Op::Write(chunk, fill, len_class) => {
+                let len = [64usize, 1000, 4096, 100_000][len_class as usize];
+                let data = vec![fill; len];
+                let c = device.write(chunk as u64 * CHUNK, &data, now).unwrap();
+                prop_assert!(c.complete >= c.start, "completion before start");
+                prop_assert!(c.start >= now, "service before submission");
+                now = c.complete;
+                model.insert(chunk, (fill, len));
+            }
+            Op::Read(chunk) => {
+                if let Some(&(fill, len)) = model.get(&chunk) {
+                    let mut buf = vec![0u8; len];
+                    let c = device.read(chunk as u64 * CHUNK, &mut buf, now).unwrap();
+                    prop_assert!(c.complete >= c.start && c.start >= now);
+                    now = c.complete;
+                    prop_assert!(buf.iter().all(|&b| b == fill), "data corruption in chunk {chunk}");
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn hdd() -> HddDevice {
+    HddDevice::new(
+        HddProfile::from_affine_targets("prop", 2013, CAP, 7200.0, 0.014, 0.000028),
+        77,
+    )
+}
+
+fn ssd() -> SsdDevice {
+    SsdDevice::new(SsdProfile::from_pdam_targets("prop", CAP, 3.3, 500.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn hdd_preserves_data(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        exercise(&mut hdd(), &ops)?;
+    }
+
+    #[test]
+    fn ssd_preserves_data(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        exercise(&mut ssd(), &ops)?;
+    }
+
+    #[test]
+    fn ramdisk_preserves_data(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        exercise(&mut RamDisk::new(CAP, SimDuration(100)), &ops)?;
+    }
+
+    #[test]
+    fn hdd_random_io_latency_bounded(offsets in prop::collection::vec(0u64..(CAP / 4096), 1..50)) {
+        // Every random 4 KiB IO costs at least the minimum positioning time
+        // and at most max seek + one rotation + transfer.
+        let mut d = hdd();
+        let profile = d.profile().clone();
+        let mut now = SimTime::ZERO;
+        let mut buf = vec![0u8; 4096];
+        let mut last_end: Option<u64> = None;
+        for off in offsets {
+            let offset = off * 4096;
+            let c = d.read(offset, &mut buf, now).unwrap();
+            let latency = (c.complete - c.start).as_secs_f64();
+            let transfer = 4096.0 / profile.outer_rate_bytes_s;
+            let max = profile.max_seek_s + profile.rotation() + transfer + 1e-9;
+            prop_assert!(latency <= max, "latency {latency} > bound {max}");
+            if last_end != Some(offset) {
+                prop_assert!(latency >= transfer, "latency {latency} below transfer time");
+            }
+            last_end = Some(offset + 4096);
+            now = c.complete;
+        }
+    }
+
+    #[test]
+    fn device_stats_conserve_bytes(ops in prop::collection::vec(op_strategy(), 1..100)) {
+        let mut d = ssd();
+        exercise(&mut d, &ops)?;
+        let s = d.stats();
+        prop_assert_eq!(s.total_bytes(), s.bytes_read + s.bytes_written);
+        prop_assert_eq!(s.total_ios(), s.reads + s.writes);
+    }
+}

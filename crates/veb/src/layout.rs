@@ -1,0 +1,184 @@
+//! The van Emde Boas layout: a complete binary tree of height `h` is split
+//! into a *top* tree of height `⌊h/2⌋` and `2^⌊h/2⌋` *bottom* trees of
+//! height `⌈h/2⌉`, each laid out contiguously and recursively.
+//!
+//! The payoff (Prokop; used by §8): any root-to-leaf path crosses only
+//! `Θ(log_B N)` contiguous size-`B` regions, for every `B` simultaneously —
+//! the layout is cache-oblivious.
+
+/// Position of BFS-indexed node `bfs` (0-based; the root is 0) within a
+/// vEB-laid-out complete binary tree of `height` levels (`height ≥ 1`;
+/// a single node is height 1).
+///
+/// Runs in `O(log height)` recursion depth with no allocation.
+pub fn veb_position(height: u32, bfs: u64) -> u64 {
+    debug_assert!(height >= 1);
+    debug_assert!(bfs + 1 < (1u64 << height), "bfs index {bfs} outside tree of height {height}");
+    if height == 1 {
+        return 0;
+    }
+    let top_h = height / 2;
+    let bot_h = height - top_h;
+    let depth = (bfs + 1).ilog2();
+    if depth < top_h {
+        return veb_position(top_h, bfs);
+    }
+    // Which bottom subtree? Determined by the node's ancestor at depth top_h.
+    let row = (bfs + 1) - (1u64 << depth); // index within its level
+    let d_b = depth - top_h;
+    let which = row >> d_b;
+    let row_b = row & ((1u64 << d_b) - 1);
+    let bfs_b = (1u64 << d_b) - 1 + row_b;
+    let top_size = (1u64 << top_h) - 1;
+    let bot_size = (1u64 << bot_h) - 1;
+    top_size + which * bot_size + veb_position(bot_h, bfs_b)
+}
+
+/// Materialize the full BFS→vEB permutation for a tree of `height` levels.
+/// Exponential in `height`; intended for construction and tests.
+pub fn veb_permutation(height: u32) -> Vec<u64> {
+    let n = (1u64 << height) - 1;
+    (0..n).map(|bfs| veb_position(height, bfs)).collect()
+}
+
+/// BFS index of the left child.
+#[inline]
+pub fn bfs_left(bfs: u64) -> u64 {
+    2 * bfs + 1
+}
+
+/// BFS index of the right child.
+#[inline]
+pub fn bfs_right(bfs: u64) -> u64 {
+    2 * bfs + 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn single_node() {
+        assert_eq!(veb_position(1, 0), 0);
+    }
+
+    #[test]
+    fn height_two_order() {
+        // Tree: root (bfs 0), children (1, 2). top = height 1 (root), then
+        // two bottom singletons in order.
+        assert_eq!(veb_position(2, 0), 0);
+        assert_eq!(veb_position(2, 1), 1);
+        assert_eq!(veb_position(2, 2), 2);
+    }
+
+    #[test]
+    fn height_three_structure() {
+        // h=3: top_h=1 (root alone), bottoms of height 2.
+        // Layout: [root][left subtree: 3 nodes][right subtree: 3 nodes].
+        assert_eq!(veb_position(3, 0), 0);
+        assert_eq!(veb_position(3, 1), 1); // left child = root of first bottom
+        assert_eq!(veb_position(3, 3), 2);
+        assert_eq!(veb_position(3, 4), 3);
+        assert_eq!(veb_position(3, 2), 4); // right child = root of second bottom
+        assert_eq!(veb_position(3, 5), 5);
+        assert_eq!(veb_position(3, 6), 6);
+    }
+
+    #[test]
+    fn permutation_is_bijection() {
+        for h in 1..=12 {
+            let perm = veb_permutation(h);
+            let n = (1u64 << h) - 1;
+            let set: HashSet<u64> = perm.iter().copied().collect();
+            assert_eq!(set.len() as u64, n, "height {h}: not a bijection");
+            assert!(perm.iter().all(|&p| p < n), "height {h}: out of range");
+        }
+    }
+
+    #[test]
+    fn root_is_always_first() {
+        for h in 1..=16 {
+            assert_eq!(veb_position(h, 0), 0, "height {h}");
+        }
+    }
+
+    #[test]
+    fn top_half_occupies_prefix() {
+        // All nodes of depth < h/2 must land in the first 2^(h/2) - 1 slots.
+        for h in [4u32, 6, 8, 10] {
+            let top_h = h / 2;
+            let top_size = (1u64 << top_h) - 1;
+            for bfs in 0..top_size {
+                assert!(
+                    veb_position(h, bfs) < top_size,
+                    "height {h}: shallow node {bfs} escaped the top block"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bottom_subtrees_are_contiguous() {
+        // For h = 8 (top 4, bottoms of height 4 = 15 nodes), every bottom
+        // subtree occupies one contiguous 15-slot run.
+        let h = 8u32;
+        let top_h = h / 2;
+        let bot_h = h - top_h;
+        let bot_size = (1u64 << bot_h) - 1;
+        let top_size = (1u64 << top_h) - 1;
+        // Roots of bottom subtrees are the depth-top_h nodes, in order.
+        let first_at_depth = (1u64 << top_h) - 1;
+        for which in 0..(1u64 << top_h) {
+            let sub_root = first_at_depth + which;
+            // Collect this subtree's positions via BFS.
+            let mut stack = vec![(sub_root, 0u32)];
+            let mut positions = Vec::new();
+            while let Some((bfs, d)) = stack.pop() {
+                positions.push(veb_position(h, bfs));
+                if d + 1 < bot_h {
+                    stack.push((bfs_left(bfs), d + 1));
+                    stack.push((bfs_right(bfs), d + 1));
+                }
+            }
+            positions.sort_unstable();
+            let lo = top_size + which * bot_size;
+            let expect: Vec<u64> = (lo..lo + bot_size).collect();
+            assert_eq!(positions, expect, "bottom subtree {which} not contiguous");
+        }
+    }
+
+    #[test]
+    fn path_block_crossings_are_logarithmic() {
+        // Cache-obliviousness in action: a root-to-leaf walk in a height-16
+        // tree (65535 nodes) touches few distinct size-B blocks, ~log_B N,
+        // for several block sizes at once.
+        let h = 16u32;
+        for block in [16u64, 64, 256] {
+            let mut worst = 0usize;
+            for leaf_path in [0u64, 0x5555, 0x7FFF, 0x1234] {
+                let mut bfs = 0u64;
+                let mut blocks = HashSet::new();
+                for d in 0..h {
+                    blocks.insert(veb_position(h, bfs) / block);
+                    if d + 1 < h {
+                        bfs = if (leaf_path >> d) & 1 == 0 { bfs_left(bfs) } else { bfs_right(bfs) };
+                    }
+                }
+                worst = worst.max(blocks.len());
+            }
+            // log_B N bound with a generous constant: 4 * log2(N)/log2(B).
+            let bound = (4.0 * 16.0 / (block as f64).log2()).ceil() as usize;
+            assert!(
+                worst <= bound,
+                "block {block}: path crossed {worst} blocks (bound {bound})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_bfs_panics_in_debug() {
+        let _ = veb_position(3, 7);
+    }
+}

@@ -1,0 +1,289 @@
+//! Intra-node search over a fat (`P·B`-byte) pivot node, reporting which
+//! size-`B` blocks the search touches and in what order.
+//!
+//! Two physical layouts of the same logical pivot tree:
+//!
+//! * [`NodeLayout::Veb`] — pivots stored in van Emde Boas order: a search's
+//!   block demands are few and mostly *contiguous* (top cluster, then one
+//!   bottom cluster, …), so PDAM read-ahead is effective;
+//! * [`NodeLayout::Sorted`] — pivots in sorted order, searched by binary
+//!   search: probes straddle the whole node, touching `~log₂(blocks)`
+//!   scattered blocks that read-ahead cannot anticipate.
+//!
+//! The keys are abstract `u64`s; a node routes a key to one of
+//! `2^(height)` child slots.
+
+use crate::layout::{bfs_left, bfs_right, veb_position};
+use serde::{Deserialize, Serialize};
+
+/// Physical ordering of pivots inside a fat node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeLayout {
+    /// van Emde Boas order (cache-oblivious).
+    Veb,
+    /// Sorted order with binary search.
+    Sorted,
+}
+
+/// A fat pivot node: a complete binary tree of `height` levels of pivots
+/// routing to `2^height` children, stored in one of two layouts.
+#[derive(Debug, Clone)]
+pub struct IntraNode {
+    height: u32,
+    layout: NodeLayout,
+    /// Pivot at each *storage position* (depends on layout).
+    keys: Vec<u64>,
+}
+
+impl IntraNode {
+    /// Build a node routing `[lo, hi)` evenly among `2^height` children.
+    ///
+    /// The pivot for BFS slot `i` is chosen as in a perfectly balanced
+    /// search tree over the child boundaries.
+    pub fn build(lo: u64, hi: u64, height: u32, layout: NodeLayout) -> Self {
+        assert!((1..48).contains(&height));
+        assert!(hi > lo);
+        let n = (1u64 << height) - 1;
+        let mut keys = vec![0u64; n as usize];
+        // In-order traversal assigns sorted boundary keys to BFS slots.
+        // Boundary i (1-based) = lo + i * width / 2^height.
+        let children = 1u64 << height;
+        let width = hi - lo;
+        let boundary = |i: u64| lo + (width * i) / children;
+        // Iterative in-order over the complete tree.
+        let mut stack: Vec<(u64, bool)> = vec![(0, false)];
+        let mut next = 1u64;
+        while let Some((bfs, expanded)) = stack.pop() {
+            let depth = (bfs + 1).ilog2();
+            if !expanded {
+                if depth + 1 < height {
+                    stack.push((bfs_right(bfs), false));
+                    stack.push((bfs, true));
+                    stack.push((bfs_left(bfs), false));
+                } else {
+                    // Leaf level of the pivot tree.
+                    let pos = Self::position_of(layout, height, bfs);
+                    keys[pos as usize] = boundary(next);
+                    next += 1;
+                }
+            } else {
+                let pos = Self::position_of(layout, height, bfs);
+                keys[pos as usize] = boundary(next);
+                next += 1;
+            }
+        }
+        debug_assert_eq!(next, n + 1);
+        IntraNode { height, layout, keys }
+    }
+
+    fn position_of(layout: NodeLayout, height: u32, bfs: u64) -> u64 {
+        match layout {
+            NodeLayout::Veb => veb_position(height, bfs),
+            NodeLayout::Sorted => {
+                // Sorted order = in-order rank. Compute the in-order index
+                // of a BFS node in a complete tree.
+                Self::inorder_rank(height, bfs)
+            }
+        }
+    }
+
+    /// In-order rank of BFS node `bfs` in a complete tree of `height`
+    /// levels.
+    fn inorder_rank(height: u32, bfs: u64) -> u64 {
+        // Walk down from the root tracking the in-order interval.
+        let depth = (bfs + 1).ilog2();
+        // Path bits from root to node: the bits of (bfs+1) below the MSB.
+        let path = (bfs + 1) - (1u64 << depth);
+        let mut lo = 0u64;
+        let mut size = (1u64 << height) - 1;
+        for d in 0..depth {
+            let half = size / 2;
+            let bit = (path >> (depth - 1 - d)) & 1;
+            if bit == 0 {
+                size = half;
+            } else {
+                lo = lo + half + 1;
+                size = half;
+            }
+        }
+        lo + size / 2
+    }
+
+    /// Number of pivots.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when the node holds no pivots (cannot happen via `build`).
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Levels of pivots.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Route `key`: returns `(child_index, block_demands)` where
+    /// `block_demands` is the ordered list of *storage positions* probed.
+    /// Callers map positions to blocks by dividing by entries-per-block.
+    pub fn search(&self, key: u64) -> (u64, Vec<u64>) {
+        match self.layout {
+            NodeLayout::Veb => {
+                let mut bfs = 0u64;
+                let mut probes = Vec::with_capacity(self.height as usize);
+                let mut child = 0u64;
+                for d in 0..self.height {
+                    let pos = veb_position(self.height, bfs);
+                    probes.push(pos);
+                    let pivot = self.keys[pos as usize];
+                    let right = key >= pivot;
+                    child = (child << 1) | right as u64;
+                    if d + 1 < self.height {
+                        bfs = if right { bfs_right(bfs) } else { bfs_left(bfs) };
+                    }
+                }
+                (child, probes)
+            }
+            NodeLayout::Sorted => {
+                // Binary search over the sorted position array.
+                let mut lo = 0usize;
+                let mut hi = self.keys.len();
+                let mut probes = Vec::new();
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    probes.push(mid as u64);
+                    if key >= self.keys[mid] {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                (lo as u64, probes)
+            }
+        }
+    }
+
+    /// The blocks (of `positions_per_block` storage positions each) a search
+    /// for `key` demands, deduplicated but order-preserving.
+    pub fn block_demands(&self, key: u64, positions_per_block: u64) -> (u64, Vec<u64>) {
+        assert!(positions_per_block >= 1);
+        let (child, probes) = self.search(key);
+        let mut blocks = Vec::new();
+        for p in probes {
+            let b = p / positions_per_block;
+            if !blocks.contains(&b) {
+                blocks.push(b);
+            }
+        }
+        (child, blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_layouts_route_identically() {
+        for layout in [NodeLayout::Veb, NodeLayout::Sorted] {
+            let node = IntraNode::build(0, 1024, 5, layout);
+            // 32 children over [0, 1024): child i covers [32i, 32(i+1)).
+            for key in [0u64, 31, 32, 500, 1000, 1023] {
+                let (child, _) = node.search(key);
+                assert_eq!(child, key / 32, "layout {layout:?}, key {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn layouts_agree_on_every_key() {
+        let veb = IntraNode::build(100, 612, 4, NodeLayout::Veb);
+        let sorted = IntraNode::build(100, 612, 4, NodeLayout::Sorted);
+        for key in 100..612 {
+            assert_eq!(veb.search(key).0, sorted.search(key).0, "key {key}");
+        }
+    }
+
+    #[test]
+    fn inorder_rank_is_sorted_order() {
+        // For a height-3 tree, in-order ranks of BFS nodes 0..7:
+        // BFS:      0  1  2  3  4  5  6
+        // in-order: 3  1  5  0  2  4  6
+        let expect = [3u64, 1, 5, 0, 2, 4, 6];
+        for (bfs, &e) in expect.iter().enumerate() {
+            assert_eq!(IntraNode::inorder_rank(3, bfs as u64), e, "bfs {bfs}");
+        }
+    }
+
+    #[test]
+    fn sorted_layout_keys_are_ascending() {
+        let node = IntraNode::build(0, 4096, 6, NodeLayout::Sorted);
+        assert!(node.keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn veb_search_touches_fewer_blocks_than_sorted() {
+        // The §8 point: with B-sized blocks inside a PB node, vEB searches
+        // cross far fewer blocks than binary search over a sorted array.
+        let height = 14; // 16383 pivots
+        let veb = IntraNode::build(0, 1 << 20, height, NodeLayout::Veb);
+        let sorted = IntraNode::build(0, 1 << 20, height, NodeLayout::Sorted);
+        let per_block = 128; // pivots per block
+        let mut veb_total = 0usize;
+        let mut sorted_total = 0usize;
+        for key in (0..(1u64 << 20)).step_by(37813) {
+            veb_total += veb.block_demands(key, per_block).1.len();
+            sorted_total += sorted.block_demands(key, per_block).1.len();
+        }
+        assert!(
+            (veb_total as f64) < 0.6 * sorted_total as f64,
+            "veb {veb_total} vs sorted {sorted_total}"
+        );
+    }
+
+    #[test]
+    fn veb_demands_have_contiguous_runs() {
+        // Read-ahead effectiveness: consecutive vEB block demands are often
+        // adjacent (bottom clusters are contiguous).
+        let height = 14;
+        let veb = IntraNode::build(0, 1 << 20, height, NodeLayout::Veb);
+        let per_block = 64;
+        let mut adjacent = 0usize;
+        let mut total = 0usize;
+        for key in (0..(1u64 << 20)).step_by(9973) {
+            let (_, blocks) = veb.block_demands(key, per_block);
+            for w in blocks.windows(2) {
+                total += 1;
+                if w[1] == w[0] + 1 || w[1] == w[0] {
+                    adjacent += 1;
+                }
+            }
+        }
+        assert!(
+            adjacent as f64 > 0.3 * total as f64,
+            "adjacent {adjacent} of {total} transitions"
+        );
+    }
+
+    #[test]
+    fn single_level_node() {
+        let node = IntraNode::build(0, 100, 1, NodeLayout::Veb);
+        assert_eq!(node.len(), 1);
+        let (c0, p0) = node.search(10);
+        let (c1, _) = node.search(90);
+        assert_eq!(c0, 0);
+        assert_eq!(c1, 1);
+        assert_eq!(p0, vec![0]);
+    }
+
+    #[test]
+    fn block_demands_dedup_preserves_order() {
+        let node = IntraNode::build(0, 1 << 16, 10, NodeLayout::Veb);
+        let (_, blocks) = node.block_demands(12345, 8);
+        let mut seen = std::collections::HashSet::new();
+        for b in &blocks {
+            assert!(seen.insert(*b), "duplicate block {b}");
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests: the vEB permutation is a bijection at every height, both
+//! node layouts route identically, and the PDAM simulator is deterministic.
+
+use dam_veb::layout::veb_position;
+use dam_veb::node::{IntraNode, NodeLayout};
+use dam_veb::sim::{run_pdam_sim, PdamSimConfig, TreeDesign};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #[test]
+    fn veb_is_bijection(height in 1u32..15) {
+        let n = (1u64 << height) - 1;
+        let mut seen = HashSet::new();
+        for bfs in 0..n {
+            let p = veb_position(height, bfs);
+            prop_assert!(p < n, "position {p} out of range at height {height}");
+            prop_assert!(seen.insert(p), "duplicate position {p} at height {height}");
+        }
+    }
+
+    #[test]
+    fn layouts_route_identically(
+        height in 1u32..10,
+        lo in 0u64..1000,
+        span in 2u64..100_000,
+        keys in prop::collection::vec(any::<u64>(), 1..50),
+    ) {
+        let hi = lo + span.max(1u64 << height);
+        let veb = IntraNode::build(lo, hi, height, NodeLayout::Veb);
+        let sorted = IntraNode::build(lo, hi, height, NodeLayout::Sorted);
+        for k in keys {
+            let key = lo + k % (hi - lo);
+            prop_assert_eq!(veb.search(key).0, sorted.search(key).0, "key {}", key);
+        }
+    }
+
+    #[test]
+    fn routing_is_monotone(height in 1u32..10, seed in any::<u64>()) {
+        // Larger keys never route to smaller children.
+        let lo = seed % 1000;
+        let hi = lo + (1u64 << (height + 6));
+        let node = IntraNode::build(lo, hi, height, NodeLayout::Veb);
+        let mut last_child = 0u64;
+        let steps = 64;
+        for i in 0..steps {
+            let key = lo + (hi - lo - 1) * i / (steps - 1);
+            let (child, _) = node.search(key);
+            prop_assert!(child >= last_child, "key {key}: child {child} < previous {last_child}");
+            last_child = child;
+        }
+    }
+
+    #[test]
+    fn probe_count_equals_height(height in 1u32..12, key in any::<u64>()) {
+        let node = IntraNode::build(0, 1 << 20, height, NodeLayout::Veb);
+        let (_, probes) = node.search(key % (1 << 20));
+        prop_assert_eq!(probes.len(), height as usize);
+    }
+
+    #[test]
+    fn sim_deterministic_and_sane(
+        seed in any::<u64>(),
+        clients in 1usize..10,
+        design_idx in 0usize..3,
+    ) {
+        let design = [TreeDesign::FatVeb, TreeDesign::FatSorted, TreeDesign::SmallNodes][design_idx];
+        let cfg = PdamSimConfig {
+            p: 4,
+            clients,
+            block_pivots: 16,
+            node_blocks: 4,
+            n_items: 1 << 20,
+            design,
+            steps: 300,
+            seed,
+        };
+        let a = run_pdam_sim(&cfg);
+        let b = run_pdam_sim(&cfg);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.blocks_fetched <= cfg.steps * cfg.p as u64);
+        prop_assert!(a.throughput >= 0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Concurrent clients on a PDAM device (§8): the same vEB-laid-out fat-node
+//! tree serves one client and many clients near-optimally, while fixed
+//! designs favor one regime or the other.
+//!
+//! ```sh
+//! cargo run --release --example concurrent_clients
+//! ```
+
+use refined_dam::prelude::*;
+use refined_dam::veb::sim::TreeDesign;
+
+fn main() {
+    let p = 8usize;
+    println!("PDAM device with P = {p} block-slots per time step, N = 2^30 keys\n");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "k clients", "PB+vEB", "PB+sorted", "B nodes"
+    );
+    for k in [1usize, 2, 4, 8] {
+        let mut cfg = PdamSimConfig {
+            p,
+            clients: k,
+            block_pivots: 64,
+            node_blocks: 8,
+            n_items: 1 << 30,
+            design: TreeDesign::FatVeb,
+            steps: 3000,
+            seed: 7,
+        };
+        let veb = run_pdam_sim(&cfg).throughput;
+        cfg.design = TreeDesign::FatSorted;
+        let sorted = run_pdam_sim(&cfg).throughput;
+        cfg.design = TreeDesign::SmallNodes;
+        let small = run_pdam_sim(&cfg).throughput;
+        println!("{k:<10} {veb:>12.4} {sorted:>12.4} {small:>12.4}");
+    }
+    println!("\nthroughput in queries per time step.");
+    println!("- at k = 1 the fat vEB node exploits read-ahead: it beats size-B nodes;");
+    println!("- sorted pivots scatter their probes, so read-ahead cannot help them;");
+    println!("- as k -> P the vEB design converges to the small-node optimum (Lemma 13).");
+}

@@ -1,0 +1,76 @@
+//! Device profiling: run the §4 microbenchmarks against simulated devices,
+//! fit the affine and PDAM models, and print the fitted parameters — the
+//! Table 1 / Table 2 methodology end to end.
+//!
+//! ```sh
+//! cargo run --release --example device_profiling
+//! ```
+
+use refined_dam::profiler::{fig1_thread_counts, table2_io_sizes};
+use refined_dam::storage::profiles;
+use refined_dam::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ----- Affine model on a hard disk (§4.2) -----
+    let hdd = profiles::wd_black_1tb_2011();
+    println!("profiling {} ...", hdd.name);
+    let affine_report = profile_affine(
+        || Box::new(HddDevice::new(hdd.clone(), 7)),
+        &table2_io_sizes(),
+        64,
+        1,
+    )?;
+    println!(
+        "  fitted s = {:.4} s, t = {:.6} s/4KiB, alpha = {:.4}/4KiB, R^2 = {:.4}",
+        affine_report.setup_s,
+        affine_report.t_per_4k,
+        affine_report.alpha_per_4k,
+        affine_report.r2
+    );
+    println!(
+        "  (device ground truth: s = {:.4}, t = {:.6})",
+        hdd.expected_setup_s(),
+        hdd.expected_seconds_per_byte() * 4096.0
+    );
+
+    // ----- PDAM on an SSD (§4.1) -----
+    let ssd = profiles::samsung_860_pro();
+    println!("\nprofiling {} ...", ssd.name);
+    let pdam_report = profile_pdam(
+        || Box::new(SsdDevice::new(ssd.clone())),
+        &fig1_thread_counts(),
+        300,
+        64 * 1024,
+        1,
+    )?;
+    println!(
+        "  fitted P = {:.1}, saturation = {:.0} MB/s, R^2 = {:.4}",
+        pdam_report.p,
+        pdam_report.saturation_bytes_s / 1e6,
+        pdam_report.r2
+    );
+    println!(
+        "  (device ground truth: P = {:.1}, bus = {:.0} MB/s)",
+        ssd.effective_p(64 * 1024),
+        ssd.saturated_read_rate() / 1e6
+    );
+    println!("  thread-scaling series:");
+    for (p, t) in &pdam_report.series {
+        println!("    p = {p:>2}: {t:.2} s");
+    }
+
+    // ----- From fit to tuning -----
+    let affine = Affine::new(affine_report.alpha_per_byte);
+    let shape = DictShape::new(2e9, 1e4, 116.0, 24.0);
+    let tuning = tune_for_affine(&affine, &shape);
+    println!("\ntuning for the fitted alpha:");
+    println!("  Cor 6  (all ops):     B-tree nodes of {:.0} KiB", tuning.btree_all_ops_node_bytes / 1024.0);
+    println!("  Cor 7  (point ops):   B-tree nodes of {:.0} KiB", tuning.btree_point_node_bytes / 1024.0);
+    println!(
+        "  Cor 12 (Bε-tree):     F = {:.0}, nodes of {:.1} MiB, inserts {:.1}x faster",
+        tuning.betree_fanout,
+        tuning.betree_node_bytes / (1 << 20) as f64,
+        tuning.insert_speedup
+    );
+    Ok(())
+}

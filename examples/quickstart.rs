@@ -1,0 +1,64 @@
+//! Quickstart: build a Bε-tree on a simulated hard disk, run a small mixed
+//! workload, and inspect the IO costs the simulated clock reports.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use refined_dam::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A simulated 2018-era WD Red hard disk (Table 2, row 5).
+    let profile = refined_dam::storage::profiles::wd_red_6tb_2018();
+    println!("device: {} (alpha = {:.2e}/byte)", profile.name, profile.alpha_per_byte());
+    let device = SharedDevice::new(Box::new(HddDevice::new(profile, 42)));
+
+    // A Bε-tree with 1 MiB nodes, F = √B fanout, and 4 MiB of cache.
+    let cfg = BeTreeConfig::sqrt_fanout(1 << 20, 116, 4 << 20);
+    let mut tree = BeTree::create(device, cfg)?;
+
+    // Insert 50k key-value pairs.
+    for i in 0..50_000u64 {
+        let key = refined_dam::kv::key_from_u64(i);
+        let value = format!("value-{i:08}");
+        tree.insert(&key, value.as_bytes())?;
+    }
+    tree.sync()?;
+    let counters = tree.pager().counters();
+    println!(
+        "preload: {} inserts, {} device IOs, {:.1} MiB written, {:.3} s simulated",
+        50_000,
+        counters.ios,
+        counters.bytes_written as f64 / (1 << 20) as f64,
+        counters.io_time_ns as f64 / 1e9,
+    );
+
+    // Point queries — some hot, some cold.
+    tree.drop_cache()?;
+    let key = refined_dam::kv::key_from_u64(31_415);
+    let hit = tree.get(&key)?;
+    println!(
+        "cold get({}) -> {:?} in {} IOs, {:.2} ms simulated",
+        31_415,
+        hit.as_deref().map(String::from_utf8_lossy),
+        tree.last_op_cost().ios,
+        tree.last_op_cost().io_time_ms()
+    );
+    let hit2 = tree.get(&key)?;
+    assert_eq!(hit, hit2);
+    println!("warm get: {} IOs (cache hit)", tree.last_op_cost().ios);
+
+    // A range query spanning buffered and applied state.
+    let lo = refined_dam::kv::key_from_u64(100);
+    let hi = refined_dam::kv::key_from_u64(110);
+    let range = tree.range(&lo, &hi)?;
+    println!("range [100, 110): {} pairs", range.len());
+    assert_eq!(range.len(), 10);
+
+    // Deletes are messages too.
+    tree.delete(&refined_dam::kv::key_from_u64(31_415))?;
+    assert_eq!(tree.get(&refined_dam::kv::key_from_u64(31_415))?, None);
+    println!("delete + reread: ok");
+
+    Ok(())
+}

@@ -1,0 +1,7 @@
+//! Root facade for the `refined-dam` workspace.
+//!
+//! This package exists to host the workspace-level integration tests and the
+//! runnable examples; all functionality lives in the `refined-dam` crate and
+//! the `dam-*` substrate crates it re-exports.
+
+pub use refined_dam::*;

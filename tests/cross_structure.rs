@@ -1,0 +1,168 @@
+//! Cross-structure integration: the B-tree, the standard Bε-tree, and the
+//! optimized Bε-tree are three implementations of the same dictionary; an
+//! identical operation stream must produce identical answers from all of
+//! them, on every device type.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use refined_dam::prelude::*;
+use refined_dam::storage::profiles;
+
+fn make_trees() -> Vec<(&'static str, Box<dyn Dictionary>)> {
+    let hdd = || {
+        SharedDevice::new(Box::new(HddDevice::new(profiles::toshiba_dt01aca050(), 7)))
+    };
+    let ssd = || SharedDevice::new(Box::new(SsdDevice::new(profiles::samsung_860_evo())));
+    vec![
+        (
+            "btree/hdd",
+            Box::new(BTree::create(hdd(), BTreeConfig::new(4096, 1 << 18)).unwrap())
+                as Box<dyn Dictionary>,
+        ),
+        (
+            "betree/hdd",
+            Box::new(BeTree::create(hdd(), BeTreeConfig::new(4096, 4, 1 << 18)).unwrap()),
+        ),
+        (
+            "optbetree/hdd",
+            Box::new(OptBeTree::create(hdd(), OptConfig::new(4, 1024, 1 << 18)).unwrap()),
+        ),
+        (
+            "btree/ssd",
+            Box::new(BTree::create(ssd(), BTreeConfig::new(8192, 1 << 18)).unwrap()),
+        ),
+        (
+            "betree/ssd",
+            Box::new(BeTree::create(ssd(), BeTreeConfig::new(8192, 6, 1 << 18)).unwrap()),
+        ),
+        (
+            "lsm/hdd",
+            Box::new(
+                LsmTree::create(hdd(), {
+                    let mut c = LsmConfig::new(4096, 1 << 18);
+                    c.memtable_bytes = 2048;
+                    c.block_bytes = 512;
+                    c.level_ratio = 4;
+                    c
+                })
+                .unwrap(),
+            ),
+        ),
+    ]
+}
+
+#[test]
+fn all_structures_agree_on_random_workload() {
+    let mut trees = make_trees();
+    let mut reference = std::collections::BTreeMap::<u64, Vec<u8>>::new();
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    for round in 0..3_000u32 {
+        let k = rng.gen_range(0..400u64);
+        let key = refined_dam::kv::key_from_u64(k);
+        match rng.gen_range(0..10) {
+            0..=5 => {
+                let value = vec![(round % 251) as u8; rng.gen_range(4..40)];
+                for (_, t) in trees.iter_mut() {
+                    t.insert(&key, &value).unwrap();
+                }
+                reference.insert(k, value);
+            }
+            6..=7 => {
+                for (_, t) in trees.iter_mut() {
+                    t.delete(&key).unwrap();
+                }
+                reference.remove(&k);
+            }
+            8 => {
+                let expect = reference.get(&k);
+                for (name, t) in trees.iter_mut() {
+                    let got = t.get(&key).unwrap();
+                    assert_eq!(got.as_ref(), expect, "{name} disagrees at round {round}");
+                }
+            }
+            _ => {
+                let hi = k + rng.gen_range(1..30);
+                let lo_key = refined_dam::kv::key_from_u64(k);
+                let hi_key = refined_dam::kv::key_from_u64(hi);
+                let expect: Vec<(Vec<u8>, Vec<u8>)> = reference
+                    .range(k..hi)
+                    .map(|(&i, v)| (refined_dam::kv::key_from_u64(i).to_vec(), v.clone()))
+                    .collect();
+                for (name, t) in trees.iter_mut() {
+                    let got = t.range(&lo_key, &hi_key).unwrap();
+                    assert_eq!(got, expect, "{name} range disagrees at round {round}");
+                }
+            }
+        }
+    }
+
+    // Final count agreement.
+    for (name, t) in trees.iter_mut() {
+        assert_eq!(t.len().unwrap(), reference.len() as u64, "{name} count");
+    }
+}
+
+#[test]
+fn structures_agree_after_syncs_and_bulk_interleaving() {
+    let hdd = SharedDevice::new(Box::new(HddDevice::new(profiles::wd_red_6tb_2018(), 3)));
+    let mut btree = BTree::create(hdd, BTreeConfig::new(2048, 1 << 17)).unwrap();
+    let ssd = SharedDevice::new(Box::new(SsdDevice::new(profiles::samsung_970_pro())));
+    let mut betree = BeTree::create(ssd, BeTreeConfig::new(2048, 3, 1 << 17)).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(5);
+    for i in 0..2_000u64 {
+        let k = refined_dam::kv::key_from_u64(rng.gen_range(0..500));
+        let v = vec![(i % 255) as u8; 16];
+        btree.insert(&k, &v).unwrap();
+        betree.insert(&k, &v).unwrap();
+        if i % 97 == 0 {
+            btree.sync().unwrap();
+            betree.sync().unwrap();
+        }
+        if i % 401 == 0 {
+            btree.drop_cache().unwrap();
+            betree.drop_cache().unwrap();
+        }
+    }
+    let a = btree.range(&[], &[0xFF; 17]).unwrap();
+    let b = betree.range(&[], &[0xFF; 17]).unwrap();
+    assert_eq!(a, b);
+    assert!(!a.is_empty());
+}
+
+#[test]
+fn write_optimization_hierarchy_holds() {
+    // On the same HDD and workload, amortized insert IO time must order:
+    // Bε-tree << B-tree (the §3 write-optimization claim, measured).
+    // Preload 100k pairs (≈ 12 MiB, far over the 512 KiB cache) so inserts
+    // touch cold leaves, as in the §7 protocol.
+    let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..100_000u64)
+        .map(|i| (refined_dam::kv::key_from_u64(2 * i).to_vec(), vec![9u8; 100]))
+        .collect();
+    let cache = 1u64 << 19;
+    let run = |mut dict: Box<dyn Dictionary>| -> f64 {
+        let mut rng = StdRng::seed_from_u64(77);
+        let n = 1_000;
+        let mut total = 0.0;
+        for _ in 0..n {
+            let k = refined_dam::kv::key_from_u64(2 * rng.gen_range(0..100_000u64) + 1);
+            dict.insert(&k, &[9u8; 100]).unwrap();
+            total += dict.last_op_cost().io_time_ms();
+        }
+        dict.sync().unwrap();
+        total += dict.last_op_cost().io_time_ms();
+        total / n as f64
+    };
+    let hdd = || SharedDevice::new(Box::new(HddDevice::new(profiles::toshiba_dt01aca050(), 9)));
+    let btree_ms = run(Box::new(
+        BTree::bulk_load(hdd(), BTreeConfig::new(64 * 1024, cache), pairs.clone()).unwrap(),
+    ));
+    let betree_ms = run(Box::new(
+        BeTree::bulk_load(hdd(), BeTreeConfig::sqrt_fanout(64 * 1024, 116, cache), pairs).unwrap(),
+    ));
+    assert!(
+        betree_ms * 3.0 < btree_ms,
+        "betree {betree_ms} ms/insert should be far below btree {btree_ms}"
+    );
+}
