@@ -9,7 +9,9 @@ use refined_dam::kv::codec::{Reader, Writer};
 use refined_dam::kv::msg::{Message, Operation};
 use refined_dam::stats::{fit_flat_then_linear, fit_line};
 use refined_dam::storage::profiles;
-use refined_dam::storage::{BlockDevice, HddDevice, RamDisk, SharedDevice, SimDuration, SimTime, SsdDevice};
+use refined_dam::storage::{
+    BlockDevice, HddDevice, RamDisk, SharedDevice, SimDuration, SimTime, SsdDevice,
+};
 use refined_dam::veb::layout::veb_position;
 
 fn bench_veb_position(c: &mut Criterion) {
@@ -24,7 +26,10 @@ fn bench_veb_position(c: &mut Criterion) {
 
 fn bench_fits(c: &mut Criterion) {
     let xs: Vec<f64> = (1..=64).map(|i| i as f64).collect();
-    let ys: Vec<f64> = xs.iter().map(|&x| 10f64.max(10.0 * x / 3.3) + (x * 17.0).sin()).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|&x| 10f64.max(10.0 * x / 3.3) + (x * 17.0).sin())
+        .collect();
     c.bench_function("fit_line/64pts", |b| {
         b.iter(|| black_box(fit_line(&xs, &ys).unwrap()))
     });

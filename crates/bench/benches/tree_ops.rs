@@ -9,7 +9,14 @@ use refined_dam::storage::profiles;
 const N: u64 = 20_000;
 
 fn pairs() -> Vec<(Vec<u8>, Vec<u8>)> {
-    (0..N).map(|i| (refined_dam::kv::key_from_u64(2 * i).to_vec(), vec![7u8; 100])).collect()
+    (0..N)
+        .map(|i| {
+            (
+                refined_dam::kv::key_from_u64(2 * i).to_vec(),
+                vec![7u8; 100],
+            )
+        })
+        .collect()
 }
 
 fn ramdisk() -> SharedDevice {
@@ -19,7 +26,8 @@ fn ramdisk() -> SharedDevice {
 fn bench_btree(c: &mut Criterion) {
     let mut g = c.benchmark_group("btree");
     g.bench_function("get/warm", |b| {
-        let mut tree = BTree::bulk_load(ramdisk(), BTreeConfig::new(16 << 10, 64 << 20), pairs()).unwrap();
+        let mut tree =
+            BTree::bulk_load(ramdisk(), BTreeConfig::new(16 << 10, 64 << 20), pairs()).unwrap();
         let mut i = 0u64;
         b.iter(|| {
             i = (i + 7919) % N;
@@ -27,13 +35,15 @@ fn bench_btree(c: &mut Criterion) {
         })
     });
     g.bench_function("insert", |b| {
-        let tree = BTree::bulk_load(ramdisk(), BTreeConfig::new(16 << 10, 64 << 20), pairs()).unwrap();
+        let tree =
+            BTree::bulk_load(ramdisk(), BTreeConfig::new(16 << 10, 64 << 20), pairs()).unwrap();
         let mut i = 1u64;
         b.iter_batched_ref(
             || tree_clone_hack(&tree),
             |t| {
                 i = (i + 2) % (4 * N);
-                t.insert(&refined_dam::kv::key_from_u64(i | 1), &[3u8; 100]).unwrap();
+                t.insert(&refined_dam::kv::key_from_u64(i | 1), &[3u8; 100])
+                    .unwrap();
             },
             BatchSize::NumIterations(5_000),
         )
@@ -50,19 +60,26 @@ fn tree_clone_hack(_t: &BTree) -> BTree {
 fn bench_betree(c: &mut Criterion) {
     let mut g = c.benchmark_group("betree");
     g.bench_function("insert/standard", |b| {
-        let mut tree =
-            BeTree::bulk_load(ramdisk(), BeTreeConfig::sqrt_fanout(64 << 10, 116, 64 << 20), pairs())
-                .unwrap();
+        let mut tree = BeTree::bulk_load(
+            ramdisk(),
+            BeTreeConfig::sqrt_fanout(64 << 10, 116, 64 << 20),
+            pairs(),
+        )
+        .unwrap();
         let mut i = 1u64;
         b.iter(|| {
             i = (i + 2) % (4 * N);
-            tree.insert(&refined_dam::kv::key_from_u64(i | 1), &[3u8; 100]).unwrap();
+            tree.insert(&refined_dam::kv::key_from_u64(i | 1), &[3u8; 100])
+                .unwrap();
         })
     });
     g.bench_function("get/standard", |b| {
-        let mut tree =
-            BeTree::bulk_load(ramdisk(), BeTreeConfig::sqrt_fanout(64 << 10, 116, 64 << 20), pairs())
-                .unwrap();
+        let mut tree = BeTree::bulk_load(
+            ramdisk(),
+            BeTreeConfig::sqrt_fanout(64 << 10, 116, 64 << 20),
+            pairs(),
+        )
+        .unwrap();
         let mut i = 0u64;
         b.iter(|| {
             i = (i + 7919) % N;
@@ -70,19 +87,26 @@ fn bench_betree(c: &mut Criterion) {
         })
     });
     g.bench_function("insert/optimized", |b| {
-        let mut tree =
-            OptBeTree::bulk_load(ramdisk(), OptConfig::balanced(64 << 10, 116, 64 << 20), pairs())
-                .unwrap();
+        let mut tree = OptBeTree::bulk_load(
+            ramdisk(),
+            OptConfig::balanced(64 << 10, 116, 64 << 20),
+            pairs(),
+        )
+        .unwrap();
         let mut i = 1u64;
         b.iter(|| {
             i = (i + 2) % (4 * N);
-            tree.insert(&refined_dam::kv::key_from_u64(i | 1), &[3u8; 100]).unwrap();
+            tree.insert(&refined_dam::kv::key_from_u64(i | 1), &[3u8; 100])
+                .unwrap();
         })
     });
     g.bench_function("get/optimized", |b| {
-        let mut tree =
-            OptBeTree::bulk_load(ramdisk(), OptConfig::balanced(64 << 10, 116, 64 << 20), pairs())
-                .unwrap();
+        let mut tree = OptBeTree::bulk_load(
+            ramdisk(),
+            OptConfig::balanced(64 << 10, 116, 64 << 20),
+            pairs(),
+        )
+        .unwrap();
         let mut i = 0u64;
         b.iter(|| {
             i = (i + 7919) % N;

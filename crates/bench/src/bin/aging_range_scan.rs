@@ -19,7 +19,10 @@ fn main() {
             ]
         })
         .collect();
-    print!("{}", table::render(&["Tree state", "Scan MB/s", "Point ms/op"], &data));
+    print!(
+        "{}",
+        table::render(&["Tree state", "Scan MB/s", "Point ms/op"], &data)
+    );
     if rows.len() == 2 {
         println!(
             "\nAging slows scans by {:.1}x; point queries barely move — the leaves are\nscattered, not lost.",

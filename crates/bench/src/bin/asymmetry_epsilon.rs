@@ -25,7 +25,12 @@ fn main() {
     print!(
         "{}",
         table::render(
-            &["ω (write/read)", "ε* (10% writes)", "ε* (50% writes)", "break-even write frac"],
+            &[
+                "ω (write/read)",
+                "ε* (10% writes)",
+                "ε* (50% writes)",
+                "break-even write frac"
+            ],
             &rows
         )
     );

@@ -18,7 +18,10 @@ fn main() {
             ]
         })
         .collect();
-    print!("{}", table::render(&["Workload", "Query ms/op", "Cache hit rate"], &data));
+    print!(
+        "{}",
+        table::render(&["Workload", "Query ms/op", "Cache hit rate"], &data)
+    );
     println!("\nHotter key distributions concentrate the working set inside M: hit rates");
     println!("climb and the effective log(N/M) shrinks.");
 }

@@ -24,7 +24,15 @@ fn main() {
     print!(
         "{}",
         table::render(
-            &["Disk", "α/4K", "Cor 6: 1/α", "Cor 7: B-tree B", "Cor 12: F", "Cor 12: Bε B", "insert speedup"],
+            &[
+                "Disk",
+                "α/4K",
+                "Cor 6: 1/α",
+                "Cor 7: B-tree B",
+                "Cor 12: F",
+                "Cor 12: Bε B",
+                "insert speedup"
+            ],
             &data
         )
     );

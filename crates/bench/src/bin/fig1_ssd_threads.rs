@@ -6,7 +6,10 @@ use dam_bench::{table, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    println!("Figure 1 — closed-loop random 64 KiB reads, {} IOs per thread\n", scale.fig1_ios_per_client);
+    println!(
+        "Figure 1 — closed-loop random 64 KiB reads, {} IOs per thread\n",
+        scale.fig1_ios_per_client
+    );
     let rows = fig1_and_table1(&scale);
     let threads: Vec<usize> = rows[0].series.iter().map(|&(p, _)| p).collect();
     let mut headers: Vec<String> = vec!["Device".to_string()];

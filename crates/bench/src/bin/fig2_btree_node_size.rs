@@ -28,7 +28,10 @@ fn main() {
         .collect();
     print!(
         "{}",
-        table::render(&["Node size", "Query ms/op", "Insert ms/op", "Affine pred ms"], &data)
+        table::render(
+            &["Node size", "Query ms/op", "Insert ms/op", "Affine pred ms"],
+            &data
+        )
     );
     // The paper fits an affine line to the measured points and reports its
     // alpha (slope/intercept) and RMS.
@@ -41,5 +44,7 @@ fn main() {
             fit.rms
         );
     }
-    println!("Paper shape: costs grow once nodes exceed ~64 KiB, then roughly linearly with node size.");
+    println!(
+        "Paper shape: costs grow once nodes exceed ~64 KiB, then roughly linearly with node size."
+    );
 }

@@ -29,7 +29,13 @@ fn main() {
     print!(
         "{}",
         table::render(
-            &["Node size", "Query ms/op", "Insert ms/op", "Pred query ms", "Pred insert ms"],
+            &[
+                "Node size",
+                "Query ms/op",
+                "Insert ms/op",
+                "Pred query ms",
+                "Pred insert ms"
+            ],
             &data
         )
     );
@@ -42,5 +48,7 @@ fn main() {
             fit.rms
         );
     }
-    println!("Paper shape: much flatter than the B-tree; larger node sizes cost 'only slightly' more.");
+    println!(
+        "Paper shape: much flatter than the B-tree; larger node sizes cost 'only slightly' more."
+    );
 }

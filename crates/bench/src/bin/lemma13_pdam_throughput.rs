@@ -6,7 +6,10 @@ use dam_bench::{table, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    println!("Lemma 13 — queries per time step, P = 8, PB nodes vs B nodes ({} steps)\n", scale.lemma13_steps);
+    println!(
+        "Lemma 13 — queries per time step, P = 8, PB nodes vs B nodes ({} steps)\n",
+        scale.lemma13_steps
+    );
     let rows = lemma13(&scale);
     let data: Vec<Vec<String>> = rows
         .iter()
@@ -23,9 +26,17 @@ fn main() {
     print!(
         "{}",
         table::render(
-            &["k clients", "PB vEB", "PB sorted", "B nodes", "Lemma 13 pred"],
+            &[
+                "k clients",
+                "PB vEB",
+                "PB sorted",
+                "B nodes",
+                "Lemma 13 pred"
+            ],
             &data
         )
     );
-    println!("\nPaper: the vEB design 'gracefully adapts when the number of clients varies over time.'");
+    println!(
+        "\nPaper: the vEB design 'gracefully adapts when the number of clients varies over time.'"
+    );
 }

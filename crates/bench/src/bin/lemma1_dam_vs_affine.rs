@@ -16,13 +16,28 @@ fn main() {
                 format!("{:.1}", r.affine_cost),
                 format!("{:.1}", r.dam_cost),
                 format!("{:.3}", r.error_factor),
-                if r.holds { "yes".into() } else { "VIOLATED".into() },
+                if r.holds {
+                    "yes".into()
+                } else {
+                    "VIOLATED".into()
+                },
             ]
         })
         .collect();
     print!(
         "{}",
-        table::render(&["Trace", "Affine cost", "DAM cost", "DAM/affine", "within 2x"], &data)
+        table::render(
+            &[
+                "Trace",
+                "Affine cost",
+                "DAM cost",
+                "DAM/affine",
+                "within 2x"
+            ],
+            &data
+        )
     );
-    println!("\nPaper: 'the DAM approximates the IO cost on any hardware to within a factor of 2.'");
+    println!(
+        "\nPaper: 'the DAM approximates the IO cost on any hardware to within a factor of 2.'"
+    );
 }

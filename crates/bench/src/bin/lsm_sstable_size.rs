@@ -27,7 +27,10 @@ fn main() {
         .collect();
     print!(
         "{}",
-        table::render(&["SSTable size", "Query ms/op", "Insert ms/op", "Write amp"], &data)
+        table::render(
+            &["SSTable size", "Query ms/op", "Insert ms/op", "Write amp"],
+            &data
+        )
     );
     println!("\nInsert cost falls as tables pass the half-bandwidth point (sequential writes");
     println!("amortize the setup cost); queries read one block per level regardless — which is");

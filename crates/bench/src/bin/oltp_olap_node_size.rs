@@ -24,7 +24,12 @@ fn main() {
     print!(
         "{}",
         table::render(
-            &["Node size", "Point ms (OLTP)", "Scan MB/s (OLAP)", "Pred. bandwidth util"],
+            &[
+                "Node size",
+                "Point ms (OLTP)",
+                "Scan MB/s (OLAP)",
+                "Pred. bandwidth util"
+            ],
             &data
         )
     );

@@ -27,7 +27,15 @@ fn main() {
     print!(
         "{}",
         table::render(
-            &["Device", "sim units", "P (fit)", "P (paper)", "∝PB MB/s (fit)", "∝PB (paper)", "R²"],
+            &[
+                "Device",
+                "sim units",
+                "P (fit)",
+                "P (paper)",
+                "∝PB MB/s (fit)",
+                "∝PB (paper)",
+                "R²"
+            ],
             &data
         )
     );

@@ -27,7 +27,18 @@ fn main() {
         .collect();
     print!(
         "{}",
-        table::render(&["Disk", "Year", "s (s)", "t (s/4K)", "α (fit)", "α (paper)", "R²"], &data)
+        table::render(
+            &[
+                "Disk",
+                "Year",
+                "s (s)",
+                "t (s/4K)",
+                "α (fit)",
+                "α (paper)",
+                "R²"
+            ],
+            &data
+        )
     );
     println!("\nPaper: R² values all within 0.1% of 1.");
 }

@@ -26,7 +26,13 @@ fn main() {
     print!(
         "{}",
         table::render(
-            &["Node size", "B-tree op", "Bε insert (F=√B)", "Bε query (opt)", "Bε query (naive)"],
+            &[
+                "Node size",
+                "B-tree op",
+                "Bε insert (F=√B)",
+                "Bε query (opt)",
+                "Bε query (naive)"
+            ],
             &data
         )
     );
@@ -52,6 +58,9 @@ fn main() {
             ]
         })
         .collect();
-    print!("{}", table::render(&["ε", "F", "Bε insert", "Bε query"], &eps_rows));
+    print!(
+        "{}",
+        table::render(&["ε", "F", "Bε insert", "Bε query"], &eps_rows)
+    );
     println!("Paper: 'The cost for inserts and queries increases more slowly in Bε-trees than in B-trees as the node size increases.'");
 }

@@ -24,7 +24,13 @@ fn main() {
     print!(
         "{}",
         table::render(
-            &["Variant", "Node size", "Query ms/op", "Insert ms/op", "Bytes read/op"],
+            &[
+                "Variant",
+                "Node size",
+                "Query ms/op",
+                "Insert ms/op",
+                "Bytes read/op"
+            ],
             &data
         )
     );

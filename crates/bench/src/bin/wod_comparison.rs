@@ -7,7 +7,10 @@ use dam_bench::{table, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    println!("Write-optimized dictionary comparison — testbed HDD, {} keys\n", scale.n_keys);
+    println!(
+        "Write-optimized dictionary comparison — testbed HDD, {} keys\n",
+        scale.n_keys
+    );
     let rows = wod_comparison(&scale);
     let data: Vec<Vec<String>> = rows
         .iter()
@@ -22,7 +25,10 @@ fn main() {
         .collect();
     print!(
         "{}",
-        table::render(&["Structure", "Query ms/op", "Insert ms/op", "Range(200) ms"], &data)
+        table::render(
+            &["Structure", "Query ms/op", "Insert ms/op", "Range(200) ms"],
+            &data
+        )
     );
     println!("\n§3: a write-optimized dictionary has 'substantially better insertion performance");
     println!("than a B-tree and query performance at or near that of a B-tree.'");

@@ -20,6 +20,12 @@ fn main() {
             ]
         })
         .collect();
-    print!("{}", table::render(&["Structure", "Node size", "WA (measured)", "WA (model)"], &data));
+    print!(
+        "{}",
+        table::render(
+            &["Structure", "Node size", "WA (measured)", "WA (model)"],
+            &data
+        )
+    );
     println!("\nLemma 3: B-tree WA is Θ(B); Theorem 4(4): Bε-tree WA is O(B^ε · log(N/M)).");
 }

@@ -18,9 +18,7 @@ mod dam_refinements_bench_reexports {
         fig1_thread_counts, profile_affine, profile_pdam, table2_io_sizes,
     };
     pub use refined_dam::storage::profiles;
-    pub use refined_dam::storage::{
-        HddDevice, SharedDevice, SsdDevice,
-    };
+    pub use refined_dam::storage::{HddDevice, SharedDevice, SsdDevice};
     pub use refined_dam::tuner::tune_for_affine;
     pub use refined_dam::veb::sim::TreeDesign;
     pub use refined_dam::veb::{run_pdam_sim, PdamSimConfig};
@@ -154,7 +152,11 @@ pub fn table3() -> Table3Result {
     let shape = DictShape::new(2e9, 1e4, 116.0, 24.0);
     let points = sensitivity::sweep(&affine, &shape, 4096.0, 64.0 * 1024.0 * 1024.0, 2.0);
     let summary = sensitivity::summarize(&affine, &shape, 64.0);
-    Table3Result { alpha_per_byte: affine.alpha, points, summary }
+    Table3Result {
+        alpha_per_byte: affine.alpha,
+        points,
+        summary,
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -187,7 +189,10 @@ fn preload_pairs(scale: &Scale) -> Vec<(Vec<u8>, Vec<u8>)> {
     (0..scale.n_keys)
         .map(|i| {
             let idx = 2 * i;
-            (refined_dam::kv::key_from_u64(idx).to_vec(), gen.value_for(idx))
+            (
+                refined_dam::kv::key_from_u64(idx).to_vec(),
+                gen.value_for(idx),
+            )
         })
         .collect()
 }
@@ -195,10 +200,7 @@ fn preload_pairs(scale: &Scale) -> Vec<(Vec<u8>, Vec<u8>)> {
 /// Run the §7 measurement phases against any dictionary: `ops` random
 /// point queries over preloaded keys, then `ops` random inserts of new
 /// keys. Returns `(query_ms, insert_ms)` means of simulated IO time.
-pub fn measure_phases(
-    dict: &mut dyn Dictionary,
-    scale: &Scale,
-) -> (f64, f64) {
+pub fn measure_phases(dict: &mut dyn Dictionary, scale: &Scale) -> (f64, f64) {
     let mut gen = WorkloadGen::new(WorkloadConfig::uniform(scale.n_keys, scale.seed ^ 0xF00D));
     let mut query_ms = 0.0;
     for _ in 0..scale.ops {
@@ -238,8 +240,10 @@ pub fn fig2(scale: &Scale) -> Vec<NodeSizePoint> {
     let mut out = Vec::new();
     let mut node_bytes = 4096usize;
     while node_bytes <= 1 << 20 {
-        let device =
-            SharedDevice::new(Box::new(HddDevice::new(profile.clone(), scale.seed ^ node_bytes as u64)));
+        let device = SharedDevice::new(Box::new(HddDevice::new(
+            profile.clone(),
+            scale.seed ^ node_bytes as u64,
+        )));
         let mut tree = BTree::bulk_load(
             device,
             BTreeConfig::new(node_bytes, scale.cache_bytes),
@@ -283,8 +287,10 @@ pub fn fig3(scale: &Scale) -> Vec<NodeSizePoint> {
     let mut out = Vec::new();
     let mut node_bytes = 64 * 1024usize;
     while node_bytes <= 4 << 20 {
-        let device =
-            SharedDevice::new(Box::new(HddDevice::new(profile.clone(), scale.seed ^ node_bytes as u64)));
+        let device = SharedDevice::new(Box::new(HddDevice::new(
+            profile.clone(),
+            scale.seed ^ node_bytes as u64,
+        )));
         let mut tree = OptBeTree::bulk_load(
             device,
             OptConfig::balanced(node_bytes, entry, scale.cache_bytes),
@@ -339,7 +345,9 @@ pub fn lemma1(scale: &Scale) -> Vec<Lemma1Row> {
         ("16 MiB scans".into(), vec![16.0 * 1024.0 * 1024.0; 50]),
         (
             "log-uniform mixed".into(),
-            (0..2000).map(|_| 2f64.powf(rng.gen_range(9.0..24.0))).collect(),
+            (0..2000)
+                .map(|_| 2f64.powf(rng.gen_range(9.0..24.0)))
+                .collect(),
         ),
         (
             "B-tree query trace (64 KiB nodes)".into(),
@@ -480,7 +488,13 @@ pub fn lemma13(scale: &Scale) -> Vec<Lemma13Row> {
             cfg.design = TreeDesign::SmallNodes;
             let small_nodes = run_pdam_sim(&cfg).throughput;
             let predicted_veb = pdam.veb_tree_throughput(k as f64, n_items as f64, 1.0);
-            Lemma13Row { clients: k, fat_veb, fat_sorted, small_nodes, predicted_veb }
+            Lemma13Row {
+                clients: k,
+                fat_veb,
+                fat_sorted,
+                small_nodes,
+                predicted_veb,
+            }
         })
         .collect()
 }
@@ -590,9 +604,12 @@ pub fn write_amp(scale: &Scale) -> Vec<WriteAmpRow> {
     let mut rows = Vec::new();
     {
         let device = SharedDevice::new(Box::new(HddDevice::new(profile.clone(), scale.seed)));
-        let mut tree =
-            BTree::bulk_load(device, BTreeConfig::new(node_bytes, scale.cache_bytes), pairs.clone())
-                .expect("bulk load failed");
+        let mut tree = BTree::bulk_load(
+            device,
+            BTreeConfig::new(node_bytes, scale.cache_bytes),
+            pairs.clone(),
+        )
+        .expect("bulk load failed");
         let measured = run_inserts(&mut tree, scale, inserts, logical_per_op, |t| {
             t.flush().unwrap();
             t.pager().counters().bytes_written
@@ -656,8 +673,10 @@ pub fn lsm_sstable_size(scale: &Scale) -> Vec<LsmSizePoint> {
     let mut out = Vec::new();
     let mut sstable = 64 * 1024usize;
     while sstable <= 4 << 20 {
-        let device =
-            SharedDevice::new(Box::new(HddDevice::new(profile.clone(), scale.seed ^ sstable as u64)));
+        let device = SharedDevice::new(Box::new(HddDevice::new(
+            profile.clone(),
+            scale.seed ^ sstable as u64,
+        )));
         let mut cfg = LsmConfig::new(sstable, scale.cache_bytes);
         cfg.block_bytes = 4096;
         let mut tree = LsmTree::create(device, cfg).expect("create failed");
@@ -755,8 +774,12 @@ pub fn wod_comparison(scale: &Scale) -> Vec<WodRow> {
 
     {
         let device = SharedDevice::new(Box::new(HddDevice::new(profile.clone(), scale.seed)));
-        let mut t = BTree::bulk_load(device, BTreeConfig::new(node, scale.cache_bytes), pairs.clone())
-            .expect("bulk load failed");
+        let mut t = BTree::bulk_load(
+            device,
+            BTreeConfig::new(node, scale.cache_bytes),
+            pairs.clone(),
+        )
+        .expect("bulk load failed");
         measure("B-tree (256 KiB nodes)", &mut t);
     }
     {
@@ -853,7 +876,11 @@ pub fn aging(scale: &Scale) -> Vec<AgingRow> {
         )
         .expect("bulk load failed");
         let (scan_mb_s, point_ms) = measure(&mut tree);
-        out.push(AgingRow { state: "fresh (bulk-loaded)".into(), scan_mb_s, point_ms });
+        out.push(AgingRow {
+            state: "fresh (bulk-loaded)".into(),
+            scan_mb_s,
+            point_ms,
+        });
     }
     {
         let device = SharedDevice::new(Box::new(HddDevice::new(profile.clone(), scale.seed)));
@@ -867,7 +894,11 @@ pub fn aging(scale: &Scale) -> Vec<AgingRow> {
             tree.insert(k, v).expect("insert failed");
         }
         let (scan_mb_s, point_ms) = measure(&mut tree);
-        out.push(AgingRow { state: "aged (random growth)".into(), scan_mb_s, point_ms });
+        out.push(AgingRow {
+            state: "aged (random growth)".into(),
+            scan_mb_s,
+            point_ms,
+        });
     }
     {
         let device = SharedDevice::new(Box::new(HddDevice::new(profile.clone(), scale.seed)));
@@ -879,7 +910,11 @@ pub fn aging(scale: &Scale) -> Vec<AgingRow> {
         .expect("bulk load failed");
         tree.scatter_leaves(scale.seed).expect("scatter failed");
         let (scan_mb_s, point_ms) = measure(&mut tree);
-        out.push(AgingRow { state: "aged (scattered leaves)".into(), scan_mb_s, point_ms });
+        out.push(AgingRow {
+            state: "aged (scattered leaves)".into(),
+            scan_mb_s,
+            point_ms,
+        });
     }
     out
 }
@@ -915,8 +950,10 @@ pub fn oltp_olap(scale: &Scale) -> Vec<OltpOlapRow> {
     let mut out = Vec::new();
     let mut node_bytes = 8 * 1024usize;
     while node_bytes <= 4 << 20 {
-        let device =
-            SharedDevice::new(Box::new(HddDevice::new(profile.clone(), scale.seed ^ node_bytes as u64)));
+        let device = SharedDevice::new(Box::new(HddDevice::new(
+            profile.clone(),
+            scale.seed ^ node_bytes as u64,
+        )));
         // Age the tree by scattering leaf placement: every leaf read pays a
         // seek — the §5 regime in which node size governs scan bandwidth.
         let mut tree = BTree::bulk_load(

@@ -4,7 +4,7 @@
 //! sorted by `(key, seq)`; "the buffer is part of the node and is written to
 //! disk with the rest of the node" (§3).
 
-use dam_kv::codec::{CodecError, Reader, Writer};
+use dam_kv::codec::{frame_into_slot, unframe, CodecError, Reader, Writer, FRAME_OVERHEAD};
 use dam_kv::msg::Message;
 
 /// Node location on the device.
@@ -13,8 +13,9 @@ pub type NodeId = u64;
 const TAG_LEAF: u8 = 0;
 const TAG_INTERNAL: u8 = 1;
 
-/// Fixed serialization overhead per node.
-pub const NODE_HEADER_BYTES: usize = 1 + 4;
+/// Fixed serialization overhead per node: the checksummed frame header plus
+/// tag + count.
+pub const NODE_HEADER_BYTES: usize = FRAME_OVERHEAD + 1 + 4;
 /// Per-leaf-entry overhead (two length prefixes).
 pub const LEAF_ENTRY_OVERHEAD: usize = 8;
 
@@ -41,7 +42,9 @@ pub enum BeNode {
 impl BeNode {
     /// An empty leaf.
     pub fn empty_leaf() -> BeNode {
-        BeNode::Leaf { entries: Vec::new() }
+        BeNode::Leaf {
+            entries: Vec::new(),
+        }
     }
 
     /// True for leaves.
@@ -59,7 +62,11 @@ impl BeNode {
                         .map(|(k, v)| LEAF_ENTRY_OVERHEAD + k.len() + v.len())
                         .sum::<usize>()
             }
-            BeNode::Internal { pivots, children, buffers } => {
+            BeNode::Internal {
+                pivots,
+                children,
+                buffers,
+            } => {
                 NODE_HEADER_BYTES
                     + pivots.iter().map(|p| 4 + p.len()).sum::<usize>()
                     + children.len() * 8
@@ -75,9 +82,10 @@ impl BeNode {
     pub fn buffer_bytes(&self) -> usize {
         match self {
             BeNode::Leaf { .. } => 0,
-            BeNode::Internal { buffers, .. } => {
-                buffers.iter().map(|b| b.iter().map(Message::footprint).sum::<usize>()).sum()
-            }
+            BeNode::Internal { buffers, .. } => buffers
+                .iter()
+                .map(|b| b.iter().map(Message::footprint).sum::<usize>())
+                .sum(),
         }
     }
 
@@ -89,7 +97,8 @@ impl BeNode {
         }
     }
 
-    /// Serialize, padded with zeros to exactly `node_bytes`.
+    /// Serialize into a checksummed frame, padded with zeros to exactly
+    /// `node_bytes`.
     pub fn encode(&self, node_bytes: usize) -> Vec<u8> {
         debug_assert!(
             self.serialized_size() <= node_bytes,
@@ -97,7 +106,7 @@ impl BeNode {
             self.serialized_size(),
             node_bytes
         );
-        let mut w = Writer::with_capacity(node_bytes);
+        let mut w = Writer::with_capacity(node_bytes - FRAME_OVERHEAD);
         match self {
             BeNode::Leaf { entries } => {
                 w.put_u8(TAG_LEAF);
@@ -107,7 +116,11 @@ impl BeNode {
                     w.put_bytes(v);
                 }
             }
-            BeNode::Internal { pivots, children, buffers } => {
+            BeNode::Internal {
+                pivots,
+                children,
+                buffers,
+            } => {
                 w.put_u8(TAG_INTERNAL);
                 w.put_u32(pivots.len() as u32);
                 for p in pivots {
@@ -125,14 +138,13 @@ impl BeNode {
                 }
             }
         }
-        let mut out = w.into_bytes();
-        out.resize(node_bytes, 0);
-        out
+        frame_into_slot(&w.into_bytes(), node_bytes)
     }
 
-    /// Deserialize a node image.
+    /// Deserialize a node image, verifying its frame checksum first.
     pub fn decode(buf: &[u8]) -> Result<BeNode, CodecError> {
-        let mut r = Reader::new(buf);
+        let payload = unframe(buf)?;
+        let mut r = Reader::new(payload);
         match r.get_u8()? {
             TAG_LEAF => {
                 let n = r.get_u32()? as usize;
@@ -163,7 +175,11 @@ impl BeNode {
                     }
                     buffers.push(buf);
                 }
-                Ok(BeNode::Internal { pivots, children, buffers })
+                Ok(BeNode::Internal {
+                    pivots,
+                    children,
+                    buffers,
+                })
             }
             _ => Err(CodecError::Invalid("unknown benode tag")),
         }
@@ -250,7 +266,6 @@ pub fn buffer_merge(a: Vec<Message>, b: Vec<Message>) -> Vec<Message> {
     out
 }
 
-
 /// Exported allocator state: high-water mark plus `(len, offsets)` free
 /// lists.
 pub(crate) type AllocState = (u64, Vec<(u64, Vec<u64>)>);
@@ -293,13 +308,20 @@ mod tests {
     use dam_kv::msg::Operation;
 
     fn m(seq: u64, key: &[u8]) -> Message {
-        Message { seq, key: key.to_vec(), op: Operation::Put(vec![seq as u8; 4]) }
+        Message {
+            seq,
+            key: key.to_vec(),
+            op: Operation::Put(vec![seq as u8; 4]),
+        }
     }
 
     #[test]
     fn leaf_roundtrip() {
         let node = BeNode::Leaf {
-            entries: vec![(b"a".to_vec(), b"1".to_vec()), (b"b".to_vec(), b"2".to_vec())],
+            entries: vec![
+                (b"a".to_vec(), b"1".to_vec()),
+                (b"b".to_vec(), b"2".to_vec()),
+            ],
         };
         let buf = node.encode(256);
         assert_eq!(BeNode::decode(&buf).unwrap(), node);
@@ -335,8 +357,10 @@ mod tests {
             children: vec![10, 20],
             buffers: vec![vec![m(1, b"a")], vec![m(2, b"z"), m(3, b"z")]],
         };
-        let expect: usize =
-            [m(1, b"a"), m(2, b"z"), m(3, b"z")].iter().map(Message::footprint).sum();
+        let expect: usize = [m(1, b"a"), m(2, b"z"), m(3, b"z")]
+            .iter()
+            .map(Message::footprint)
+            .sum();
         assert_eq!(node.buffer_bytes(), expect);
         assert_eq!(BeNode::empty_leaf().buffer_bytes(), 0);
     }
@@ -346,15 +370,30 @@ mod tests {
         use dam_kv::msg::LastWriteWins;
         let mut entries = vec![(b"b".to_vec(), b"old".to_vec())];
         let msgs = vec![
-            Message { seq: 1, key: b"a".to_vec(), op: Operation::Put(b"x".to_vec()) },
-            Message { seq: 2, key: b"b".to_vec(), op: Operation::Delete },
-            Message { seq: 3, key: b"c".to_vec(), op: Operation::Put(b"y".to_vec()) },
+            Message {
+                seq: 1,
+                key: b"a".to_vec(),
+                op: Operation::Put(b"x".to_vec()),
+            },
+            Message {
+                seq: 2,
+                key: b"b".to_vec(),
+                op: Operation::Delete,
+            },
+            Message {
+                seq: 3,
+                key: b"c".to_vec(),
+                op: Operation::Put(b"y".to_vec()),
+            },
         ];
         let delta = apply_msgs_to_entries(&mut entries, &msgs, &LastWriteWins);
         assert_eq!(delta, 1); // +a, -b, +c
         assert_eq!(
             entries,
-            vec![(b"a".to_vec(), b"x".to_vec()), (b"c".to_vec(), b"y".to_vec())]
+            vec![
+                (b"a".to_vec(), b"x".to_vec()),
+                (b"c".to_vec(), b"y".to_vec())
+            ]
         );
     }
 
@@ -395,6 +434,26 @@ mod tests {
     }
 
     #[test]
+    fn decode_detects_corruption() {
+        let node = BeNode::Internal {
+            pivots: vec![b"m".to_vec()],
+            children: vec![10, 20],
+            buffers: vec![vec![m(1, b"a"), m(3, b"c")], vec![m(2, b"x")]],
+        };
+        let mut buf = node.encode(1024);
+        buf[NODE_HEADER_BYTES + 1] ^= 0x02; // flip one payload bit
+        assert!(matches!(
+            BeNode::decode(&buf),
+            Err(CodecError::ChecksumMismatch { .. })
+        ));
+        // A torn prefix of the image must not decode either.
+        let full = node.encode(1024);
+        let mut torn = vec![0u8; 1024];
+        torn[..40].copy_from_slice(&full[..40]);
+        assert!(BeNode::decode(&torn).is_err());
+    }
+
+    #[test]
     fn route_uses_pivots() {
         let node = BeNode::Internal {
             pivots: vec![b"h".to_vec()],
@@ -419,7 +478,10 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         let (hw, free) = decode_alloc_state(&mut r).unwrap();
-        assert_eq!((hw, &free), (pager.export_alloc().0, &pager.export_alloc().1));
+        assert_eq!(
+            (hw, &free),
+            (pager.export_alloc().0, &pager.export_alloc().1)
+        );
         assert_eq!(free, vec![(100u64, vec![a])]);
     }
 }

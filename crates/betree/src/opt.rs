@@ -30,7 +30,7 @@ use dam_cache::{Pager, PagerError};
 
 const OPT_SUPERBLOCK_MAGIC: u32 = 0x4441_4D4F; // "DAMO"
 const OPT_SUPERBLOCK_VERSION: u8 = 1;
-use dam_kv::codec::{CodecError, Reader, Writer};
+use dam_kv::codec::{frame_into_slot, unframe, CodecError, Reader, Writer, FRAME_OVERHEAD};
 use dam_kv::msg::{replay, LastWriteWins, MergeOperator, Message, Operation};
 use dam_kv::{Dictionary, KvError, OpCost};
 use dam_storage::SharedDevice;
@@ -38,6 +38,9 @@ use dam_storage::SharedDevice;
 const TAG_EMPTY: u8 = 0;
 const TAG_SUBLEAF: u8 = 1;
 const TAG_DESC: u8 = 2;
+
+/// Serialized size of an empty subleaf segment (frame + tag + count).
+const SUBLEAF_HEADER_BYTES: usize = FRAME_OVERHEAD + 1 + 4;
 
 /// Configuration of the optimized tree.
 pub struct OptConfig {
@@ -57,7 +60,13 @@ pub struct OptConfig {
 impl OptConfig {
     /// Explicit configuration with last-write-wins upserts.
     pub fn new(fanout: usize, seg_bytes: usize, cache_bytes: u64) -> Self {
-        OptConfig { fanout, seg_bytes, cache_bytes, merge: Box::new(LastWriteWins), bulk_fill: 0.8 }
+        OptConfig {
+            fanout,
+            seg_bytes,
+            cache_bytes,
+            merge: Box::new(LastWriteWins),
+            bulk_fill: 0.8,
+        }
     }
 
     /// Bytes reserved at device offset 0 for the superblock: large enough
@@ -114,9 +123,12 @@ impl ChildDesc {
         self.boundaries.partition_point(|b| b.as_slice() <= key)
     }
 
-    /// Conservative serialized size (message footprints are upper bounds).
+    /// Conservative serialized size as a framed segment (message footprints
+    /// are upper bounds).
     pub fn size(&self) -> usize {
-        1 + 8
+        FRAME_OVERHEAD
+            + 1
+            + 8
             + 1
             + 4
             + self.boundaries.iter().map(|b| 4 + b.len()).sum::<usize>()
@@ -136,7 +148,13 @@ impl Seg {
     fn size(&self) -> usize {
         match self {
             Seg::Subleaf(entries) => {
-                1 + 4 + entries.iter().map(|(k, v)| 8 + k.len() + v.len()).sum::<usize>()
+                FRAME_OVERHEAD
+                    + 1
+                    + 4
+                    + entries
+                        .iter()
+                        .map(|(k, v)| 8 + k.len() + v.len())
+                        .sum::<usize>()
             }
             Seg::Desc(d) => d.size(),
         }
@@ -201,7 +219,12 @@ impl Seg {
                 for _ in 0..nm {
                     msgs.push(Message::decode(r)?);
                 }
-                Ok(Some(Seg::Desc(ChildDesc { addr, is_leaf, boundaries, msgs })))
+                Ok(Some(Seg::Desc(ChildDesc {
+                    addr,
+                    is_leaf,
+                    boundaries,
+                    msgs,
+                })))
             }
             _ => Err(CodecError::Invalid("unknown segment tag")),
         }
@@ -234,7 +257,10 @@ impl OptBeTree {
             return Err(KvError::Config("fanout must be at least 2".into()));
         }
         if cfg.seg_bytes < 64 {
-            return Err(KvError::Config(format!("seg_bytes {} too small", cfg.seg_bytes)));
+            return Err(KvError::Config(format!(
+                "seg_bytes {} too small",
+                cfg.seg_bytes
+            )));
         }
         if !(0.5..=1.0).contains(&cfg.bulk_fill) {
             return Err(KvError::Config("bulk_fill must be in [0.5, 1.0]".into()));
@@ -250,7 +276,12 @@ impl OptBeTree {
             seg_bytes: cfg.seg_bytes,
             node_bytes,
             merge: cfg.merge,
-            root: ChildDesc { addr, is_leaf: true, boundaries: Vec::new(), msgs: Vec::new() },
+            root: ChildDesc {
+                addr,
+                is_leaf: true,
+                boundaries: Vec::new(),
+                msgs: Vec::new(),
+            },
             height: 1,
             count: 0,
             next_seq: 1,
@@ -308,11 +339,11 @@ impl OptBeTree {
         // Root descriptor (reuses the segment encoding).
         Seg::Desc(self.root.clone()).encode_into(&mut w);
         encode_alloc_state(&mut w, &self.pager);
-        let mut image = w.into_bytes();
-        if image.len() as u64 > reserved {
+        let payload = w.into_bytes();
+        if (payload.len() + FRAME_OVERHEAD) as u64 > reserved {
             return Err(KvError::Config("superblock overflow".into()));
         }
-        image.resize(reserved as usize, 0);
+        let image = frame_into_slot(&payload, reserved as usize);
         self.pager.write_through(0, image).map_err(map_pager)
     }
 
@@ -322,11 +353,14 @@ impl OptBeTree {
         let reserved = cfg.superblock_bytes();
         let mut pager = Pager::new(device, cfg.cache_bytes, reserved);
         let image = pager.read(0, reserved as usize).map_err(map_pager)?;
-        let mut r = Reader::new(&image);
         let corrupt = |what: String| KvError::Corrupt(format!("superblock: {what}"));
         let dec = |e: CodecError| corrupt(e.to_string());
+        let payload = unframe(&image).map_err(dec)?;
+        let mut r = Reader::new(payload);
         if r.get_u32().map_err(dec)? != OPT_SUPERBLOCK_MAGIC {
-            return Err(corrupt("bad magic (no optimized Be-tree on this device?)".into()));
+            return Err(corrupt(
+                "bad magic (no optimized Be-tree on this device?)".into(),
+            ));
         }
         if r.get_u8().map_err(dec)? != OPT_SUPERBLOCK_VERSION {
             return Err(corrupt("unsupported version".into()));
@@ -389,12 +423,11 @@ impl OptBeTree {
                     self.seg_bytes
                 )));
             }
-            let mut w = Writer::with_capacity(self.seg_bytes);
+            let mut w = Writer::with_capacity(self.seg_bytes - FRAME_OVERHEAD);
             seg.encode_into(&mut w);
-            let mut buf = w.into_bytes();
-            debug_assert!(buf.len() <= self.seg_bytes);
-            buf.resize(self.seg_bytes, 0);
-            image.extend_from_slice(&buf);
+            // Each segment gets its own checksummed frame so partial-node
+            // (single-segment) reads can still be validated.
+            image.extend_from_slice(&frame_into_slot(&w.into_bytes(), self.seg_bytes));
         }
         image.resize(self.node_bytes, 0);
         self.pager.write(addr, image).map_err(map_pager)
@@ -405,7 +438,9 @@ impl OptBeTree {
         let mut segs = Vec::with_capacity(used);
         for j in 0..used {
             let slice = &image[j * self.seg_bytes..(j + 1) * self.seg_bytes];
-            match Seg::decode(slice)
+            let payload = unframe(slice)
+                .map_err(|e| KvError::Corrupt(format!("node {addr} seg {j}: {e}")))?;
+            match Seg::decode(payload)
                 .map_err(|e| KvError::Corrupt(format!("node {addr} seg {j}: {e}")))?
             {
                 Some(s) => segs.push(s),
@@ -424,7 +459,11 @@ impl OptBeTree {
             .pager
             .read_within(addr, self.node_bytes, j * self.seg_bytes, self.seg_bytes)
             .map_err(map_pager)?;
-        match Seg::decode(&buf).map_err(|e| KvError::Corrupt(format!("node {addr} seg {j}: {e}")))? {
+        let payload =
+            unframe(&buf).map_err(|e| KvError::Corrupt(format!("node {addr} seg {j}: {e}")))?;
+        match Seg::decode(payload)
+            .map_err(|e| KvError::Corrupt(format!("node {addr} seg {j}: {e}")))?
+        {
             Some(s) => Ok(s),
             None => Err(KvError::Corrupt(format!("node {addr}: segment {j} empty"))),
         }
@@ -495,7 +534,9 @@ impl OptBeTree {
             while j < segs.len() {
                 let needs_flush = matches!(&segs[j], Seg::Desc(d) if d.size() > self.seg_bytes);
                 if needs_flush {
-                    let Seg::Desc(d) = &mut segs[j] else { unreachable!() };
+                    let Seg::Desc(d) = &mut segs[j] else {
+                        unreachable!()
+                    };
                     let sibs = self.flush_child(d)?;
                     if let Seg::Desc(d) = &segs[j] {
                         if d.size() > self.seg_bytes {
@@ -539,15 +580,15 @@ impl OptBeTree {
         let target = (self.seg_bytes * 3) / 4;
         let mut chunks: Vec<Vec<(Vec<u8>, Vec<u8>)>> = Vec::new();
         let mut cur: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
-        let mut bytes = 5usize;
+        let mut bytes = SUBLEAF_HEADER_BYTES;
         for (k, v) in all {
             let sz = 8 + k.len() + v.len();
-            if 5 + sz > self.seg_bytes {
+            if SUBLEAF_HEADER_BYTES + sz > self.seg_bytes {
                 return Err(KvError::Config("entry larger than a subleaf".into()));
             }
             if !cur.is_empty() && bytes + sz > target {
                 chunks.push(std::mem::take(&mut cur));
-                bytes = 5;
+                bytes = SUBLEAF_HEADER_BYTES;
             }
             bytes += sz;
             cur.push((k, v));
@@ -564,7 +605,11 @@ impl OptBeTree {
         let node_groups: Vec<&[Vec<(Vec<u8>, Vec<u8>)>]> =
             chunks.chunks(self.fanout.max(1)).collect();
         for (gi, group) in node_groups.iter().enumerate() {
-            let addr = if gi == 0 { desc.addr } else { self.alloc_node()? };
+            let addr = if gi == 0 {
+                desc.addr
+            } else {
+                self.alloc_node()?
+            };
             let boundaries: Vec<Vec<u8>> = group[1..].iter().map(|c| c[0].0.clone()).collect();
             let group_segs: Vec<Seg> = group.iter().map(|c| Seg::Subleaf(c.to_vec())).collect();
             self.write_whole(addr, &group_segs)?;
@@ -572,7 +617,15 @@ impl OptBeTree {
                 desc.boundaries = boundaries;
             } else {
                 let sep = group[0][0].0.clone();
-                out.push((sep, ChildDesc { addr, is_leaf: true, boundaries, msgs: Vec::new() }));
+                out.push((
+                    sep,
+                    ChildDesc {
+                        addr,
+                        is_leaf: true,
+                        boundaries,
+                        msgs: Vec::new(),
+                    },
+                ));
             }
         }
         Ok(out)
@@ -598,7 +651,11 @@ impl OptBeTree {
         let mut gi = 0usize;
         while start < segs.len() {
             let end = (start + group_size).min(segs.len());
-            let addr = if gi == 0 { desc.addr } else { self.alloc_node()? };
+            let addr = if gi == 0 {
+                desc.addr
+            } else {
+                self.alloc_node()?
+            };
             let part_bounds: Vec<Vec<u8>> = boundaries[start..end - 1].to_vec();
             self.write_whole(addr, &segs[start..end])?;
             if gi == 0 {
@@ -607,7 +664,12 @@ impl OptBeTree {
                 let sep = boundaries[start - 1].clone();
                 out.push((
                     sep,
-                    ChildDesc { addr, is_leaf: false, boundaries: part_bounds, msgs: Vec::new() },
+                    ChildDesc {
+                        addr,
+                        is_leaf: false,
+                        boundaries: part_bounds,
+                        msgs: Vec::new(),
+                    },
                 ));
             }
             start = end;
@@ -628,7 +690,12 @@ impl OptBeTree {
         let addr = self.alloc_node()?;
         let old = std::mem::replace(
             &mut self.root,
-            ChildDesc { addr, is_leaf: false, boundaries: Vec::new(), msgs: Vec::new() },
+            ChildDesc {
+                addr,
+                is_leaf: false,
+                boundaries: Vec::new(),
+                msgs: Vec::new(),
+            },
         );
         let mut segs = vec![Seg::Desc(old)];
         let mut boundaries = Vec::new();
@@ -647,8 +714,9 @@ impl OptBeTree {
     // ------------------------------------------------------------------
 
     fn entry_fits(&self, key: &[u8], payload: usize) -> Result<(), KvError> {
-        let entry = 5 + 8 + key.len() + payload;
-        let msg = 17 + key.len() + payload + 18; // desc fixed overhead
+        let entry = SUBLEAF_HEADER_BYTES + 8 + key.len() + payload;
+        // Message footprint + framed-descriptor fixed overhead.
+        let msg = 17 + key.len() + payload + 18 + FRAME_OVERHEAD;
         if entry.max(msg) > self.seg_bytes {
             return Err(KvError::Config(format!(
                 "entry of key {} + payload {} bytes cannot fit in seg_bytes {}",
@@ -662,11 +730,20 @@ impl OptBeTree {
 
     fn enqueue(&mut self, key: &[u8], op: Operation) -> Result<(), KvError> {
         self.entry_fits(key, op.payload_len())?;
-        let msg = Message { seq: self.next_seq, key: key.to_vec(), op };
+        let msg = Message {
+            seq: self.next_seq,
+            key: key.to_vec(),
+            op,
+        };
         self.next_seq += 1;
         let mut root = std::mem::replace(
             &mut self.root,
-            ChildDesc { addr: 0, is_leaf: true, boundaries: Vec::new(), msgs: Vec::new() },
+            ChildDesc {
+                addr: 0,
+                is_leaf: true,
+                boundaries: Vec::new(),
+                msgs: Vec::new(),
+            },
         );
         buffer_insert(&mut root.msgs, msg);
         let result = if root.size() > self.seg_bytes {
@@ -742,7 +819,11 @@ impl OptBeTree {
         let merged = buffer_merge(inherited, own);
         let groups = Self::partition(merged, &desc.boundaries);
         for (j, group) in groups.into_iter().enumerate() {
-            let seg_lo = if j == 0 { None } else { Some(desc.boundaries[j - 1].as_slice()) };
+            let seg_lo = if j == 0 {
+                None
+            } else {
+                Some(desc.boundaries[j - 1].as_slice())
+            };
             let seg_hi = if j == desc.boundaries.len() {
                 None
             } else {
@@ -783,7 +864,12 @@ impl OptBeTree {
     pub fn drain_all(&mut self) -> Result<(), KvError> {
         let mut root = std::mem::replace(
             &mut self.root,
-            ChildDesc { addr: 0, is_leaf: true, boundaries: Vec::new(), msgs: Vec::new() },
+            ChildDesc {
+                addr: 0,
+                is_leaf: true,
+                boundaries: Vec::new(),
+                msgs: Vec::new(),
+            },
         );
         let result = self.drain_desc(&mut root);
         self.root = root;
@@ -843,13 +929,15 @@ impl OptBeTree {
         // Pack entries into subleaf chunks.
         let mut chunks: Vec<Vec<(Vec<u8>, Vec<u8>)>> = Vec::new();
         let mut cur: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
-        let mut bytes = 5usize;
+        let mut bytes = SUBLEAF_HEADER_BYTES;
         let mut count = 0u64;
         let mut last: Option<Vec<u8>> = None;
         for (k, v) in pairs {
             if let Some(prev) = &last {
                 if *prev >= k {
-                    return Err(KvError::Config("bulk_load input not strictly ascending".into()));
+                    return Err(KvError::Config(
+                        "bulk_load input not strictly ascending".into(),
+                    ));
                 }
             }
             last = Some(k.clone());
@@ -857,7 +945,7 @@ impl OptBeTree {
             let sz = 8 + k.len() + v.len();
             if !cur.is_empty() && bytes + sz > target {
                 chunks.push(std::mem::take(&mut cur));
-                bytes = 5;
+                bytes = SUBLEAF_HEADER_BYTES;
             }
             bytes += sz;
             cur.push((k, v));
@@ -875,10 +963,22 @@ impl OptBeTree {
         for group in chunks.chunks(tree.fanout.max(1)) {
             let first = group[0][0].0.clone();
             let boundaries: Vec<Vec<u8>> = group[1..].iter().map(|c| c[0].0.clone()).collect();
-            let addr = if level.is_empty() { tree.root.addr } else { tree.alloc_node()? };
+            let addr = if level.is_empty() {
+                tree.root.addr
+            } else {
+                tree.alloc_node()?
+            };
             let segs: Vec<Seg> = group.iter().map(|c| Seg::Subleaf(c.to_vec())).collect();
             tree.write_whole(addr, &segs)?;
-            level.push((first, ChildDesc { addr, is_leaf: true, boundaries, msgs: Vec::new() }));
+            level.push((
+                first,
+                ChildDesc {
+                    addr,
+                    is_leaf: true,
+                    boundaries,
+                    msgs: Vec::new(),
+                },
+            ));
         }
 
         // Internal levels: `fanout` descriptors per node.
@@ -895,7 +995,12 @@ impl OptBeTree {
                 tree.write_whole(addr, &segs)?;
                 next.push((
                     first,
-                    ChildDesc { addr, is_leaf: false, boundaries, msgs: Vec::new() },
+                    ChildDesc {
+                        addr,
+                        is_leaf: false,
+                        boundaries,
+                        msgs: Vec::new(),
+                    },
                 ));
             }
             level = next;
@@ -933,36 +1038,61 @@ impl OptBeTree {
         is_root: bool,
     ) -> Result<u64, KvError> {
         if !is_root && desc.size() > self.seg_bytes {
-            return Err(KvError::Corrupt(format!("descriptor for {} oversize", desc.addr)));
+            return Err(KvError::Corrupt(format!(
+                "descriptor for {} oversize",
+                desc.addr
+            )));
         }
         for w in desc.boundaries.windows(2) {
             if w[0] >= w[1] {
-                return Err(KvError::Corrupt(format!("node {} boundaries unsorted", desc.addr)));
+                return Err(KvError::Corrupt(format!(
+                    "node {} boundaries unsorted",
+                    desc.addr
+                )));
             }
         }
         for w in desc.msgs.windows(2) {
             if (w[0].key.as_slice(), w[0].seq) >= (w[1].key.as_slice(), w[1].seq) {
-                return Err(KvError::Corrupt(format!("node {} messages unsorted", desc.addr)));
+                return Err(KvError::Corrupt(format!(
+                    "node {} messages unsorted",
+                    desc.addr
+                )));
             }
         }
         for m in &desc.msgs {
             if lo.is_some_and(|l| m.key.as_slice() < l) || hi.is_some_and(|h| m.key.as_slice() >= h)
             {
-                return Err(KvError::Corrupt(format!("node {} message out of range", desc.addr)));
+                return Err(KvError::Corrupt(format!(
+                    "node {} message out of range",
+                    desc.addr
+                )));
             }
         }
         if desc.is_leaf && level != 1 {
-            return Err(KvError::Corrupt(format!("leaf {} at level {level}", desc.addr)));
+            return Err(KvError::Corrupt(format!(
+                "leaf {} at level {level}",
+                desc.addr
+            )));
         }
         if !desc.is_leaf && level < 2 {
-            return Err(KvError::Corrupt(format!("internal {} at leaf level", desc.addr)));
+            return Err(KvError::Corrupt(format!(
+                "internal {} at leaf level",
+                desc.addr
+            )));
         }
         let segs = self.read_whole(desc.addr, desc.used())?;
         let mut total = 0u64;
         for (j, seg) in segs.iter().enumerate() {
-            let slo = if j == 0 { lo } else { Some(desc.boundaries[j - 1].as_slice()) };
-            let shi =
-                if j == desc.boundaries.len() { hi } else { Some(desc.boundaries[j].as_slice()) };
+            let slo = if j == 0 {
+                lo
+            } else {
+                Some(desc.boundaries[j - 1].as_slice())
+            };
+            let shi = if j == desc.boundaries.len() {
+                hi
+            } else {
+                Some(desc.boundaries[j].as_slice())
+            };
             match seg {
                 Seg::Subleaf(entries) => {
                     if !desc.is_leaf {
@@ -1049,7 +1179,10 @@ impl Dictionary for OptBeTree {
 
     fn sync(&mut self) -> Result<(), KvError> {
         let snap = self.pager.snapshot();
-        self.flush()?;
+        // Durability contract: a successful sync leaves a superblock from
+        // which `open` recovers this exact state (including root-buffered
+        // messages, which ride in the superblock's root descriptor).
+        self.persist()?;
         self.finish_op(&snap);
         Ok(())
     }
@@ -1074,7 +1207,10 @@ mod tests {
     }
 
     fn kv(i: u64) -> (Vec<u8>, Vec<u8>) {
-        (key_from_u64(i).to_vec(), format!("value-{i:08}").into_bytes())
+        (
+            key_from_u64(i).to_vec(),
+            format!("value-{i:08}").into_bytes(),
+        )
     }
 
     #[test]
@@ -1205,7 +1341,10 @@ mod tests {
             t.delete(&k).unwrap();
         }
         let out = t.range(&key_from_u64(195), &key_from_u64(215)).unwrap();
-        let keys: Vec<u64> = out.iter().map(|(k, _)| dam_kv::key_to_u64(k).unwrap()).collect();
+        let keys: Vec<u64> = out
+            .iter()
+            .map(|(k, _)| dam_kv::key_to_u64(k).unwrap())
+            .collect();
         assert_eq!(keys, vec![195, 196, 197, 198, 199, 210, 211, 212, 213, 214]);
     }
 
@@ -1293,7 +1432,10 @@ mod tests {
     #[test]
     fn oversized_entry_rejected() {
         let mut t = tree(4, 256);
-        assert!(matches!(t.insert(b"k", &vec![0u8; 400]), Err(KvError::Config(_))));
+        assert!(matches!(
+            t.insert(b"k", &vec![0u8; 400]),
+            Err(KvError::Config(_))
+        ));
     }
 
     #[test]

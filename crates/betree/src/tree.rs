@@ -45,7 +45,11 @@ impl BeTreeConfig {
     /// The `ε = 1/2` configuration: `F = √(node_bytes / approx_entry_bytes)`.
     pub fn sqrt_fanout(node_bytes: usize, approx_entry_bytes: usize, cache_bytes: u64) -> Self {
         let entries = (node_bytes / approx_entry_bytes.max(1)).max(4);
-        Self::new(node_bytes, (entries as f64).sqrt().ceil() as usize, cache_bytes)
+        Self::new(
+            node_bytes,
+            (entries as f64).sqrt().ceil() as usize,
+            cache_bytes,
+        )
     }
 }
 
@@ -71,7 +75,10 @@ impl BeTree {
     /// Create an empty tree on `device`.
     pub fn create(device: SharedDevice, cfg: BeTreeConfig) -> Result<Self, KvError> {
         if cfg.node_bytes < NODE_HEADER_BYTES + 128 {
-            return Err(KvError::Config(format!("node_bytes {} too small", cfg.node_bytes)));
+            return Err(KvError::Config(format!(
+                "node_bytes {} too small",
+                cfg.node_bytes
+            )));
         }
         if cfg.fanout < 2 {
             return Err(KvError::Config("fanout must be at least 2".into()));
@@ -130,11 +137,13 @@ impl BeTree {
         w.put_u64(self.node_bytes as u64);
         w.put_u32(self.max_fanout as u32);
         encode_alloc_state(&mut w, &self.pager);
-        let mut image = w.into_bytes();
-        if image.len() as u64 > SUPERBLOCK_BYTES {
-            return Err(KvError::Config("superblock overflow (too many free extents)".into()));
+        let payload = w.into_bytes();
+        if (payload.len() + dam_kv::codec::FRAME_OVERHEAD) as u64 > SUPERBLOCK_BYTES {
+            return Err(KvError::Config(
+                "superblock overflow (too many free extents)".into(),
+            ));
         }
-        image.resize(SUPERBLOCK_BYTES as usize, 0);
+        let image = dam_kv::codec::frame_into_slot(&payload, SUPERBLOCK_BYTES as usize);
         self.pager.write_through(0, image).map_err(map_pager)
     }
 
@@ -143,12 +152,17 @@ impl BeTree {
     /// config (it is code, not data).
     pub fn open(device: SharedDevice, cfg: BeTreeConfig) -> Result<Self, KvError> {
         let mut pager = Pager::new(device, cfg.cache_bytes, SUPERBLOCK_BYTES);
-        let image = pager.read(0, SUPERBLOCK_BYTES as usize).map_err(map_pager)?;
-        let mut r = Reader::new(&image);
+        let image = pager
+            .read(0, SUPERBLOCK_BYTES as usize)
+            .map_err(map_pager)?;
         let corrupt = |what: String| KvError::Corrupt(format!("superblock: {what}"));
         let dec = |e: dam_kv::codec::CodecError| corrupt(e.to_string());
+        let payload = dam_kv::codec::unframe(&image).map_err(dec)?;
+        let mut r = Reader::new(payload);
         if r.get_u32().map_err(dec)? != SUPERBLOCK_MAGIC {
-            return Err(corrupt("bad magic (no Be-tree persisted on this device?)".into()));
+            return Err(corrupt(
+                "bad magic (no Be-tree persisted on this device?)".into(),
+            ));
         }
         if r.get_u8().map_err(dec)? != SUPERBLOCK_VERSION {
             return Err(corrupt("unsupported version".into()));
@@ -198,7 +212,9 @@ impl BeTree {
                 self.node_bytes
             )));
         }
-        self.pager.write(id, node.encode(self.node_bytes)).map_err(map_pager)
+        self.pager
+            .write(id, node.encode(self.node_bytes))
+            .map_err(map_pager)
     }
 
     fn alloc_node(&mut self) -> Result<NodeId, KvError> {
@@ -226,7 +242,9 @@ impl BeTree {
     /// Multi-way split of an oversize leaf; the node keeps the first chunk,
     /// the rest are written to fresh slots. Returns `(pivot, id)` pairs.
     fn split_leaf(&mut self, node: &mut BeNode) -> Result<Vec<(Vec<u8>, NodeId)>, KvError> {
-        let BeNode::Leaf { entries } = node else { unreachable!() };
+        let BeNode::Leaf { entries } = node else {
+            unreachable!()
+        };
         let target = (self.node_bytes * 3) / 4;
         let all = std::mem::take(entries);
         let mut chunks: Vec<Vec<(Vec<u8>, Vec<u8>)>> = Vec::new();
@@ -268,10 +286,19 @@ impl BeTree {
     /// (structural + buffer); buffers travel with their children, so no
     /// draining is needed.
     fn split_internal(&mut self, node: &mut BeNode) -> Result<Vec<(Vec<u8>, NodeId)>, KvError> {
-        let BeNode::Internal { pivots, children, buffers } = node else { unreachable!() };
+        let BeNode::Internal {
+            pivots,
+            children,
+            buffers,
+        } = node
+        else {
+            unreachable!()
+        };
         let n = children.len();
         if n < 2 {
-            return Err(KvError::Config("cannot split a 1-child internal node".into()));
+            return Err(KvError::Config(
+                "cannot split a 1-child internal node".into(),
+            ));
         }
         // Per-child cost: child ptr + buffer + (pivot preceding it).
         let child_cost: Vec<usize> = (0..n)
@@ -334,7 +361,12 @@ impl BeTree {
     /// Route `(key, seq)`-sorted `msgs` into an internal node's per-child
     /// buffers.
     fn route_into_buffers(node: &mut BeNode, msgs: Vec<Message>) {
-        let BeNode::Internal { pivots, buffers, .. } = node else { unreachable!() };
+        let BeNode::Internal {
+            pivots, buffers, ..
+        } = node
+        else {
+            unreachable!()
+        };
         let mut idx = 0usize;
         let mut pending: Vec<Vec<Message>> = vec![Vec::new(); buffers.len()];
         for m in msgs {
@@ -392,7 +424,9 @@ impl BeTree {
                     }
                     break self.split_leaf(node)?;
                 }
-                BeNode::Internal { children, buffers, .. } => {
+                BeNode::Internal {
+                    children, buffers, ..
+                } => {
                     let fanout_ok = children.len() <= self.max_fanout;
                     if size <= self.node_bytes && fanout_ok {
                         break Vec::new();
@@ -412,7 +446,12 @@ impl BeTree {
                     let child_id = children[idx];
                     let msgs = std::mem::take(&mut buffers[idx]);
                     let child_splits = self.apply_msgs_to_child(child_id, msgs)?;
-                    let BeNode::Internal { pivots, children, buffers } = node else {
+                    let BeNode::Internal {
+                        pivots,
+                        children,
+                        buffers,
+                    } = node
+                    else {
                         unreachable!()
                     };
                     for (off, (pivot, cid)) in child_splits.into_iter().enumerate() {
@@ -440,7 +479,14 @@ impl BeTree {
         }
         let buffers = vec![Vec::new(); children.len()];
         let new_root = self.alloc_node()?;
-        self.write_node(new_root, &BeNode::Internal { pivots, children, buffers })?;
+        self.write_node(
+            new_root,
+            &BeNode::Internal {
+                pivots,
+                children,
+                buffers,
+            },
+        )?;
         self.root = new_root;
         self.height += 1;
         Ok(())
@@ -466,19 +512,28 @@ impl BeTree {
 
     fn enqueue(&mut self, key: &[u8], op: Operation) -> Result<(), KvError> {
         self.entry_fits(key, op.payload_len())?;
-        let msg = Message { seq: self.next_seq, key: key.to_vec(), op };
+        let msg = Message {
+            seq: self.next_seq,
+            key: key.to_vec(),
+            op,
+        };
         self.next_seq += 1;
         let root = self.root;
         let mut node = self.read_node(root)?;
         match &mut node {
             BeNode::Leaf { entries } => {
-                let delta =
-                    Self::apply_to_entries(entries, std::slice::from_ref(&msg), self.merge.as_ref());
+                let delta = Self::apply_to_entries(
+                    entries,
+                    std::slice::from_ref(&msg),
+                    self.merge.as_ref(),
+                );
                 self.count = (self.count as i64 + delta) as u64;
             }
             BeNode::Internal { .. } => {
                 let idx = node.route(&msg.key);
-                let BeNode::Internal { buffers, .. } = &mut node else { unreachable!() };
+                let BeNode::Internal { buffers, .. } = &mut node else {
+                    unreachable!()
+                };
                 buffer_insert(&mut buffers[idx], msg);
             }
         }
@@ -513,7 +568,11 @@ impl BeTree {
                     collected.sort_by_key(|m| m.seq);
                     return Ok(replay(base.as_deref(), &collected, self.merge.as_ref()));
                 }
-                BeNode::Internal { ref buffers, ref children, .. } => {
+                BeNode::Internal {
+                    ref buffers,
+                    ref children,
+                    ..
+                } => {
                     let idx = node.route(key);
                     let buf = &buffers[idx];
                     let lo = buf.partition_point(|m| m.key.as_slice() < key);
@@ -552,11 +611,22 @@ impl BeTree {
                 }
                 Ok(())
             }
-            BeNode::Internal { pivots, children, buffers } => {
+            BeNode::Internal {
+                pivots,
+                children,
+                buffers,
+            } => {
                 for (i, &child) in children.iter().enumerate() {
-                    let child_lo = if i == 0 { None } else { Some(pivots[i - 1].as_slice()) };
-                    let child_hi =
-                        if i == pivots.len() { None } else { Some(pivots[i].as_slice()) };
+                    let child_lo = if i == 0 {
+                        None
+                    } else {
+                        Some(pivots[i - 1].as_slice())
+                    };
+                    let child_hi = if i == pivots.len() {
+                        None
+                    } else {
+                        Some(pivots[i].as_slice())
+                    };
                     let lower_ok = child_lo.is_none_or(|l| l < end);
                     let upper_ok = child_hi.is_none_or(|h| h > start);
                     if !(lower_ok && upper_ok) {
@@ -575,8 +645,7 @@ impl BeTree {
                             .cloned()
                             .collect()
                     };
-                    let child_msgs =
-                        buffer_merge(slice_in(&inherited), slice_in(&buffers[i]));
+                    let child_msgs = buffer_merge(slice_in(&inherited), slice_in(&buffers[i]));
                     self.range_rec(child, start, end, child_msgs, out)?;
                 }
                 Ok(())
@@ -603,31 +672,62 @@ impl BeTree {
         // Flush every nonempty buffer, restarting whenever splits reshuffle
         // child indices.
         loop {
-            let BeNode::Internal { children, buffers, .. } = &mut node else { unreachable!() };
-            let Some(idx) = buffers.iter().position(|b| !b.is_empty()) else { break };
+            let BeNode::Internal {
+                children, buffers, ..
+            } = &mut node
+            else {
+                unreachable!()
+            };
+            let Some(idx) = buffers.iter().position(|b| !b.is_empty()) else {
+                break;
+            };
             let child_id = children[idx];
             let msgs = std::mem::take(&mut buffers[idx]);
             let child_splits = self.apply_msgs_to_child(child_id, msgs)?;
-            let BeNode::Internal { pivots, children, buffers } = &mut node else { unreachable!() };
+            let BeNode::Internal {
+                pivots,
+                children,
+                buffers,
+            } = &mut node
+            else {
+                unreachable!()
+            };
             for (off, (pivot, cid)) in child_splits.into_iter().enumerate() {
                 pivots.insert(idx + off, pivot);
                 children.insert(idx + 1 + off, cid);
                 buffers.insert(idx + 1 + off, Vec::new());
             }
         }
-        // Recurse into (now stable) children.
-        let child_ids: Vec<NodeId> = match &node {
-            BeNode::Internal { children, .. } => children.clone(),
-            _ => unreachable!(),
-        };
-        for (i, cid) in child_ids.into_iter().enumerate() {
+        // Recurse into (now stable) children. Splits from child `i` shift
+        // every later child right, so walk by live index, not a snapshot.
+        let mut i = 0usize;
+        loop {
+            let cid = {
+                let BeNode::Internal { children, .. } = &node else {
+                    unreachable!()
+                };
+                match children.get(i) {
+                    Some(&c) => c,
+                    None => break,
+                }
+            };
             let child_splits = self.drain_rec(cid)?;
-            let BeNode::Internal { pivots, children, buffers } = &mut node else { unreachable!() };
+            let BeNode::Internal {
+                pivots,
+                children,
+                buffers,
+            } = &mut node
+            else {
+                unreachable!()
+            };
+            let adopted = child_splits.len();
             for (off, (pivot, ncid)) in child_splits.into_iter().enumerate() {
                 pivots.insert(i + off, pivot);
                 children.insert(i + 1 + off, ncid);
                 buffers.insert(i + 1 + off, Vec::new());
             }
+            // New siblings are already drained subtrees — skip past them.
+            i += 1 + adopted;
         }
         self.fix_and_write(id, &mut node)
     }
@@ -655,7 +755,9 @@ impl BeTree {
         for (k, v) in pairs {
             if let Some(prev) = &last {
                 if *prev >= k {
-                    return Err(KvError::Config("bulk_load input not strictly ascending".into()));
+                    return Err(KvError::Config(
+                        "bulk_load input not strictly ascending".into(),
+                    ));
                 }
             }
             last = Some(k.clone());
@@ -664,7 +766,12 @@ impl BeTree {
             if !cur.is_empty() && bytes + sz > leaf_target {
                 let id = tree.alloc_node()?;
                 let first = cur[0].0.clone();
-                tree.write_node(id, &BeNode::Leaf { entries: std::mem::take(&mut cur) })?;
+                tree.write_node(
+                    id,
+                    &BeNode::Leaf {
+                        entries: std::mem::take(&mut cur),
+                    },
+                )?;
                 level.push((first, id));
                 bytes = NODE_HEADER_BYTES;
             }
@@ -691,7 +798,14 @@ impl BeTree {
                 let children: Vec<NodeId> = group.iter().map(|(_, id)| *id).collect();
                 let buffers = vec![Vec::new(); children.len()];
                 let id = tree.alloc_node()?;
-                tree.write_node(id, &BeNode::Internal { pivots, children, buffers })?;
+                tree.write_node(
+                    id,
+                    &BeNode::Internal {
+                        pivots,
+                        children,
+                        buffers,
+                    },
+                )?;
                 next.push((first, id));
             }
             level = next;
@@ -736,9 +850,8 @@ impl BeTree {
         if node.serialized_size() > self.node_bytes {
             return Err(KvError::Corrupt(format!("node {id} oversize")));
         }
-        let in_bounds = |k: &[u8]| -> bool {
-            !(lo.is_some_and(|l| k < l) || hi.is_some_and(|h| k >= h))
-        };
+        let in_bounds =
+            |k: &[u8]| -> bool { !(lo.is_some_and(|l| k < l) || hi.is_some_and(|h| k >= h)) };
         match node {
             BeNode::Leaf { entries } => {
                 if level != 1 {
@@ -756,7 +869,11 @@ impl BeTree {
                 }
                 Ok(entries.len() as u64)
             }
-            BeNode::Internal { pivots, children, buffers } => {
+            BeNode::Internal {
+                pivots,
+                children,
+                buffers,
+            } => {
                 if level < 2 {
                     return Err(KvError::Corrupt(format!("internal {id} at leaf level")));
                 }
@@ -769,8 +886,16 @@ impl BeTree {
                     }
                 }
                 for (i, buf) in buffers.iter().enumerate() {
-                    let blo = if i == 0 { lo } else { Some(pivots[i - 1].as_slice()) };
-                    let bhi = if i == pivots.len() { hi } else { Some(pivots[i].as_slice()) };
+                    let blo = if i == 0 {
+                        lo
+                    } else {
+                        Some(pivots[i - 1].as_slice())
+                    };
+                    let bhi = if i == pivots.len() {
+                        hi
+                    } else {
+                        Some(pivots[i].as_slice())
+                    };
                     for w in buf.windows(2) {
                         if (w[0].key.as_slice(), w[0].seq) >= (w[1].key.as_slice(), w[1].seq) {
                             return Err(KvError::Corrupt(format!("internal {id} buffer unsorted")));
@@ -788,8 +913,16 @@ impl BeTree {
                 }
                 let mut total = 0u64;
                 for (i, &child) in children.iter().enumerate() {
-                    let clo = if i == 0 { lo } else { Some(pivots[i - 1].as_slice()) };
-                    let chi = if i == pivots.len() { hi } else { Some(pivots[i].as_slice()) };
+                    let clo = if i == 0 {
+                        lo
+                    } else {
+                        Some(pivots[i - 1].as_slice())
+                    };
+                    let chi = if i == pivots.len() {
+                        hi
+                    } else {
+                        Some(pivots[i].as_slice())
+                    };
                     total += self.check_rec(child, level - 1, clo, chi)?;
                 }
                 Ok(total)
@@ -847,7 +980,9 @@ impl Dictionary for BeTree {
 
     fn sync(&mut self) -> Result<(), KvError> {
         let snap = self.pager.snapshot();
-        self.flush()?;
+        // Durability contract: a successful sync leaves a superblock from
+        // which `open` recovers this exact state.
+        self.persist()?;
         self.finish_op(&snap);
         Ok(())
     }
@@ -872,7 +1007,10 @@ mod tests {
     }
 
     fn kv(i: u64) -> (Vec<u8>, Vec<u8>) {
-        (key_from_u64(i).to_vec(), format!("value-{i:08}").into_bytes())
+        (
+            key_from_u64(i).to_vec(),
+            format!("value-{i:08}").into_bytes(),
+        )
     }
 
     #[test]
@@ -1064,7 +1202,10 @@ mod tests {
             t.delete(&k).unwrap();
         }
         let out = t.range(&key_from_u64(95), &key_from_u64(115)).unwrap();
-        let keys: Vec<u64> = out.iter().map(|(k, _)| dam_kv::key_to_u64(k).unwrap()).collect();
+        let keys: Vec<u64> = out
+            .iter()
+            .map(|(k, _)| dam_kv::key_to_u64(k).unwrap())
+            .collect();
         assert_eq!(keys, vec![95, 96, 97, 98, 99, 110, 111, 112, 113, 114]);
     }
 
@@ -1141,7 +1282,10 @@ mod tests {
         let (k, _) = kv(777);
         t.get(&k).unwrap();
         let c = t.last_op_cost();
-        assert!(c.ios as u32 >= t.height() - 1, "cold query should read the path");
+        assert!(
+            c.ios as u32 >= t.height() - 1,
+            "cold query should read the path"
+        );
         assert!(c.io_time_ns > 0);
     }
 
@@ -1149,8 +1293,7 @@ mod tests {
     fn persist_and_open_roundtrip() {
         let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 28, SimDuration(1000))));
         {
-            let mut t =
-                BeTree::create(dev.clone(), BeTreeConfig::new(1024, 4, 1 << 20)).unwrap();
+            let mut t = BeTree::create(dev.clone(), BeTreeConfig::new(1024, 4, 1 << 20)).unwrap();
             for i in 0..1200 {
                 let (k, v) = kv(i);
                 t.insert(&k, &v).unwrap();
@@ -1194,6 +1337,9 @@ mod tests {
     #[test]
     fn oversized_entry_rejected() {
         let mut t = tree(512, 4);
-        assert!(matches!(t.insert(b"k", &vec![0u8; 600]), Err(KvError::Config(_))));
+        assert!(matches!(
+            t.insert(b"k", &vec![0u8; 600]),
+            Err(KvError::Config(_))
+        ));
     }
 }

@@ -71,8 +71,10 @@ fn check_against_model<T: Dictionary>(
     // Final audit: exact count and full scan.
     prop_assert_eq!(tree.len().unwrap(), model.len() as u64);
     let all = tree.range(&[], &[0xFF; 17]).unwrap();
-    let expect: Vec<(Vec<u8>, Vec<u8>)> =
-        model.iter().map(|(&k, v)| (key_from_u64(k).to_vec(), v.clone())).collect();
+    let expect: Vec<(Vec<u8>, Vec<u8>)> = model
+        .iter()
+        .map(|(&k, v)| (key_from_u64(k).to_vec(), v.clone()))
+        .collect();
     prop_assert_eq!(all, expect);
     Ok(model)
 }
@@ -204,8 +206,11 @@ mod upserts {
                 Op::Add(k, d) => {
                     let key = key_from_u64(k as u64);
                     upsert(&mut tree, &key, d as u64);
-                    *model.entry(k as u64).or_insert(0) =
-                        model.get(&(k as u64)).copied().unwrap_or(0).wrapping_add(d as u64);
+                    *model.entry(k as u64).or_insert(0) = model
+                        .get(&(k as u64))
+                        .copied()
+                        .unwrap_or(0)
+                        .wrapping_add(d as u64);
                 }
                 Op::Put(k, v) => {
                     let key = key_from_u64(k as u64);
@@ -266,5 +271,4 @@ mod upserts {
             );
         }
     }
-
 }

@@ -1,0 +1,128 @@
+//! Pinned regression: `drain_rec` child-index drift after pivot adoption.
+//!
+//! Delta-debugged from the proptest failure recorded in
+//! `prop_model.proptest-regressions`.  Draining a buffered root whose
+//! children split during the flush used to advance the child cursor by a
+//! fixed step, skipping the pivots adopted mid-walk; a later drain then
+//! flushed messages into the wrong subtree and `range` diverged from the
+//! model.  The fix walks live indices (`i += 1 + adopted`).  Kept as a
+//! deterministic test so the case survives even if the proptest seed file
+//! is regenerated.
+
+use dam_betree::{BeTree, BeTreeConfig};
+use dam_kv::{key_from_u64, Dictionary};
+use dam_storage::{RamDisk, SharedDevice, SimDuration};
+use std::collections::BTreeMap;
+
+/// `(key, value-seed)` insert sequence; drains fire after indices 48/55.
+const OPS: &[(u16, u8)] = &[
+    (480, 158),
+    (503, 50),
+    (147, 131),
+    (105, 191),
+    (311, 212),
+    (484, 176),
+    (229, 227),
+    (155, 248),
+    (466, 198),
+    (114, 89),
+    (434, 0),
+    (273, 247),
+    (210, 249),
+    (509, 216),
+    (64, 218),
+    (175, 193),
+    (138, 201),
+    (321, 97),
+    (501, 244),
+    (48, 28),
+    (314, 234),
+    (353, 83),
+    (264, 124),
+    (322, 166),
+    (115, 123),
+    (294, 252),
+    (112, 197),
+    (460, 242),
+    (166, 87),
+    (448, 178),
+    (87, 13),
+    (327, 239),
+    (145, 246),
+    (206, 175),
+    (401, 151),
+    (418, 246),
+    (35, 165),
+    (456, 15),
+    (189, 244),
+    (447, 221),
+    (98, 134),
+    (376, 127),
+    (195, 240),
+    (281, 137),
+    (267, 188),
+    (355, 59),
+    (292, 197),
+    (11, 207),
+    (227, 185),
+    (109, 228),
+    (83, 226),
+    (366, 53),
+    (219, 95),
+    (39, 133),
+    (453, 212),
+    (397, 156),
+    (188, 170),
+    (357, 73),
+    (361, 248),
+    (388, 229),
+    (168, 97),
+    (171, 154),
+    (157, 203),
+    (245, 9),
+    (405, 207),
+    (62, 141),
+];
+
+fn value_for(v: u8) -> Vec<u8> {
+    vec![v; 8 + (v as usize % 16)]
+}
+
+fn run(budget: u64) -> Result<(), String> {
+    let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 26, SimDuration(100))));
+    let mut tree = BeTree::create(dev, BeTreeConfig::new(512, 2, budget)).unwrap();
+    let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    for (i, &(k, v)) in OPS.iter().enumerate() {
+        let value = value_for(v);
+        tree.insert(&key_from_u64(k as u64), &value).unwrap();
+        model.insert(k as u64, value);
+        if i == 48 || i == 55 {
+            tree.drain_all().unwrap();
+        }
+    }
+    let n = tree.len().unwrap();
+    if n != model.len() as u64 {
+        return Err(format!("len {n} != {}", model.len()));
+    }
+    let all = tree.range(&[], &[0xFF; 17]).unwrap();
+    let expect: Vec<(Vec<u8>, Vec<u8>)> = model
+        .iter()
+        .map(|(&k, v)| (key_from_u64(k).to_vec(), v.clone()))
+        .collect();
+    if all != expect {
+        return Err("range divergence".into());
+    }
+    if let Err(e) = tree.check_invariants() {
+        return Err(format!("invariants: {e:?}"));
+    }
+    Ok(())
+}
+
+#[test]
+fn drain_adoption_stays_consistent_across_budgets() {
+    // The bug was budget-independent (it reproduced at 8 KiB through
+    // 1 MiB); keep all three to guard the cache-pressure interaction.
+    for budget in [1u64 << 13, 1 << 16, 1 << 20] {
+        run(budget).unwrap_or_else(|e| panic!("budget {budget}: {e}"));
+    }
+}

@@ -4,7 +4,7 @@
 //! are padded to exactly that size when written so each node IO moves
 //! exactly `B` bytes — the quantity the affine model prices.
 
-use dam_kv::codec::{CodecError, Reader, Writer};
+use dam_kv::codec::{frame_into_slot, unframe, CodecError, Reader, Writer, FRAME_OVERHEAD};
 
 /// Location of a node on the device (a fixed-size slot offset).
 pub type NodeId = u64;
@@ -12,8 +12,9 @@ pub type NodeId = u64;
 const TAG_LEAF: u8 = 0;
 const TAG_INTERNAL: u8 = 1;
 
-/// Fixed serialization overhead per node (tag + count).
-pub const NODE_HEADER_BYTES: usize = 1 + 4;
+/// Fixed serialization overhead per node: the checksummed frame header plus
+/// tag + count.
+pub const NODE_HEADER_BYTES: usize = FRAME_OVERHEAD + 1 + 4;
 /// Serialization overhead per leaf entry beyond key/value bytes
 /// (two u32 length prefixes).
 pub const LEAF_ENTRY_OVERHEAD: usize = 8;
@@ -42,7 +43,9 @@ pub enum Node {
 impl Node {
     /// An empty leaf.
     pub fn empty_leaf() -> Node {
-        Node::Leaf { entries: Vec::new() }
+        Node::Leaf {
+            entries: Vec::new(),
+        }
     }
 
     /// True for leaves.
@@ -68,7 +71,8 @@ impl Node {
         }
     }
 
-    /// Serialize, padding with zeros to exactly `node_bytes`.
+    /// Serialize into a checksummed frame, padding with zeros to exactly
+    /// `node_bytes`.
     ///
     /// Panics in debug builds if the node exceeds `node_bytes` — callers
     /// must split first.
@@ -79,7 +83,7 @@ impl Node {
             self.serialized_size(),
             node_bytes
         );
-        let mut w = Writer::with_capacity(node_bytes);
+        let mut w = Writer::with_capacity(node_bytes - FRAME_OVERHEAD);
         match self {
             Node::Leaf { entries } => {
                 w.put_u8(TAG_LEAF);
@@ -100,14 +104,13 @@ impl Node {
                 }
             }
         }
-        let mut buf = w.into_bytes();
-        buf.resize(node_bytes, 0);
-        buf
+        frame_into_slot(&w.into_bytes(), node_bytes)
     }
 
-    /// Deserialize a node image.
+    /// Deserialize a node image, verifying its frame checksum first.
     pub fn decode(buf: &[u8]) -> Result<Node, CodecError> {
-        let mut r = Reader::new(buf);
+        let payload = unframe(buf)?;
+        let mut r = Reader::new(payload);
         match r.get_u8()? {
             TAG_LEAF => {
                 let n = r.get_u32()? as usize;
@@ -202,7 +205,7 @@ mod tests {
                 }
                 _ => unreachable!(),
             }
-            assert_eq!(node.serialized_size(), w.len());
+            assert_eq!(node.serialized_size(), FRAME_OVERHEAD + w.len());
         }
         let internal = Node::Internal {
             pivots: vec![vec![1; 16], vec![2; 16]],
@@ -218,11 +221,35 @@ mod tests {
     fn decode_garbage_fails_cleanly() {
         assert!(Node::decode(&[]).is_err());
         assert!(Node::decode(&[99, 0, 0, 0, 0]).is_err());
-        // Leaf claiming 1000 entries but truncated.
+        // A valid frame around a truncated payload: leaf claiming 1000
+        // entries that are not there.
         let mut w = Writer::new();
         w.put_u8(0);
         w.put_u32(1000);
-        assert!(Node::decode(&w.into_bytes()).is_err());
+        let framed = dam_kv::codec::frame(&w.into_bytes());
+        assert!(Node::decode(&framed).is_err());
+    }
+
+    #[test]
+    fn decode_detects_bit_rot() {
+        let node = leaf(5);
+        let mut buf = node.encode(4096);
+        buf[NODE_HEADER_BYTES + 2] ^= 0x10; // flip one payload bit
+        assert!(matches!(
+            Node::decode(&buf),
+            Err(CodecError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_detects_torn_write() {
+        let node = leaf(20);
+        let full = node.encode(4096);
+        // Persist only a prefix that ends mid-payload; the rest stays
+        // zero — exactly what a torn sector write leaves behind.
+        let mut torn = vec![0u8; 4096];
+        torn[..40].copy_from_slice(&full[..40]);
+        assert!(Node::decode(&torn).is_err());
     }
 
     #[test]

@@ -26,7 +26,11 @@ pub struct BTreeConfig {
 impl BTreeConfig {
     /// Config with the given node size and cache, 90% bulk fill.
     pub fn new(node_bytes: usize, cache_bytes: u64) -> Self {
-        BTreeConfig { node_bytes, cache_bytes, bulk_fill: 0.9 }
+        BTreeConfig {
+            node_bytes,
+            cache_bytes,
+            bulk_fill: 0.9,
+        }
     }
 }
 
@@ -62,7 +66,14 @@ impl BTree {
         }
         let mut pager = Pager::new(device, cfg.cache_bytes, SUPERBLOCK_BYTES);
         let root = pager.alloc(cfg.node_bytes as u64).map_err(map_pager)?;
-        let mut tree = BTree { pager, cfg, root, height: 1, count: 0, last_cost: OpCost::default() };
+        let mut tree = BTree {
+            pager,
+            cfg,
+            root,
+            height: 1,
+            count: 0,
+            last_cost: OpCost::default(),
+        };
         tree.write_node(root, &Node::empty_leaf())?;
         Ok(tree)
     }
@@ -90,24 +101,27 @@ impl BTree {
                 w.put_u64(o);
             }
         }
-        let mut image = w.into_bytes();
-        if image.len() as u64 > SUPERBLOCK_BYTES {
+        let payload = w.into_bytes();
+        if (payload.len() + dam_kv::codec::FRAME_OVERHEAD) as u64 > SUPERBLOCK_BYTES {
             return Err(KvError::Config(format!(
                 "superblock of {} bytes exceeds the reserved {} (too many free extents)",
-                image.len(),
+                payload.len(),
                 SUPERBLOCK_BYTES
             )));
         }
-        image.resize(SUPERBLOCK_BYTES as usize, 0);
+        let image = dam_kv::codec::frame_into_slot(&payload, SUPERBLOCK_BYTES as usize);
         self.pager.write_through(0, image).map_err(map_pager)
     }
 
     /// Reopen a tree previously [`BTree::persist`]ed on `device`.
     pub fn open(device: SharedDevice, cfg: BTreeConfig) -> Result<Self, KvError> {
         let mut pager = Pager::new(device, cfg.cache_bytes, SUPERBLOCK_BYTES);
-        let image = pager.read(0, SUPERBLOCK_BYTES as usize).map_err(map_pager)?;
-        let mut r = Reader::new(&image);
+        let image = pager
+            .read(0, SUPERBLOCK_BYTES as usize)
+            .map_err(map_pager)?;
         let corrupt = |what: &str| KvError::Corrupt(format!("superblock: {what}"));
+        let payload = dam_kv::codec::unframe(&image).map_err(|e| corrupt(&e.to_string()))?;
+        let mut r = Reader::new(payload);
         if r.get_u32().map_err(|e| corrupt(&e.to_string()))? != SUPERBLOCK_MAGIC {
             return Err(corrupt("bad magic (no tree persisted on this device?)"));
         }
@@ -138,7 +152,14 @@ impl BTree {
             free.push((len, offs));
         }
         pager.restore_alloc(high_water, free, SUPERBLOCK_BYTES);
-        Ok(BTree { pager, cfg, root, height, count, last_cost: OpCost::default() })
+        Ok(BTree {
+            pager,
+            cfg,
+            root,
+            height,
+            count,
+            last_cost: OpCost::default(),
+        })
     }
 
     /// The node size in use.
@@ -167,7 +188,10 @@ impl BTree {
     }
 
     fn read_node(&mut self, id: NodeId) -> Result<Node, KvError> {
-        let buf = self.pager.read(id, self.cfg.node_bytes).map_err(map_pager)?;
+        let buf = self
+            .pager
+            .read(id, self.cfg.node_bytes)
+            .map_err(map_pager)?;
         Node::decode(&buf).map_err(|e| KvError::Corrupt(format!("node {id}: {e}")))
     }
 
@@ -184,7 +208,9 @@ impl BTree {
     }
 
     fn alloc_node(&mut self) -> Result<NodeId, KvError> {
-        self.pager.alloc(self.cfg.node_bytes as u64).map_err(map_pager)
+        self.pager
+            .alloc(self.cfg.node_bytes as u64)
+            .map_err(map_pager)
     }
 
     fn free_node(&mut self, id: NodeId) {
@@ -213,7 +239,10 @@ impl BTree {
         entries: &mut Vec<(Vec<u8>, Vec<u8>)>,
     ) -> (Vec<u8>, Vec<(Vec<u8>, Vec<u8>)>) {
         debug_assert!(entries.len() >= 2, "cannot split a leaf with < 2 entries");
-        let total: usize = entries.iter().map(|(k, v)| LEAF_ENTRY_OVERHEAD + k.len() + v.len()).sum();
+        let total: usize = entries
+            .iter()
+            .map(|(k, v)| LEAF_ENTRY_OVERHEAD + k.len() + v.len())
+            .sum();
         let mut acc = 0usize;
         let mut split = entries.len() - 1;
         for (i, (k, v)) in entries.iter().enumerate() {
@@ -253,10 +282,14 @@ impl BTree {
                     self.write_node(id, &node)?;
                     return Ok((new_key, None));
                 }
-                let Node::Leaf { entries } = &mut node else { unreachable!() };
+                let Node::Leaf { entries } = &mut node else {
+                    unreachable!()
+                };
                 let (pivot, right_entries) = Self::split_leaf_entries(entries);
                 let right_id = self.alloc_node()?;
-                let right = Node::Leaf { entries: right_entries };
+                let right = Node::Leaf {
+                    entries: right_entries,
+                };
                 self.write_node(id, &node)?;
                 self.write_node(right_id, &right)?;
                 Ok((new_key, Some((pivot, right_id))))
@@ -268,7 +301,9 @@ impl BTree {
                 let Some((pivot, right_id)) = split else {
                     return Ok((new_key, None));
                 };
-                let Node::Internal { pivots, children } = &mut node else { unreachable!() };
+                let Node::Internal { pivots, children } = &mut node else {
+                    unreachable!()
+                };
                 pivots.insert(idx, pivot);
                 children.insert(idx + 1, right_id);
                 if node.serialized_size() <= self.cfg.node_bytes {
@@ -276,7 +311,9 @@ impl BTree {
                     return Ok((new_key, None));
                 }
                 // Split the internal node: promote the byte-midpoint pivot.
-                let Node::Internal { pivots, children } = &mut node else { unreachable!() };
+                let Node::Internal { pivots, children } = &mut node else {
+                    unreachable!()
+                };
                 if pivots.len() < 3 {
                     return Err(KvError::Config(format!(
                         "internal node with {} pivots overflows node_bytes {}; keys too large",
@@ -298,7 +335,10 @@ impl BTree {
                 let promoted = pivots.pop().expect("mid >= 1 leaves a pivot to promote");
                 let right_children = children.split_off(mid + 1);
                 let right_id = self.alloc_node()?;
-                let right = Node::Internal { pivots: right_pivots, children: right_children };
+                let right = Node::Internal {
+                    pivots: right_pivots,
+                    children: right_children,
+                };
                 self.write_node(id, &node)?;
                 self.write_node(right_id, &right)?;
                 Ok((new_key, Some((promoted, right_id))))
@@ -355,15 +395,18 @@ impl BTree {
             return Ok(());
         }
         // Prefer the left sibling; fall back to the right when idx == 0.
-        let (li, ri) = if idx > 0 { (idx - 1, idx) } else { (idx, idx + 1) };
+        let (li, ri) = if idx > 0 {
+            (idx - 1, idx)
+        } else {
+            (idx, idx + 1)
+        };
         let left_id = children[li];
         let right_id = children[ri];
         let mut left = self.read_node(left_id)?;
         let mut right = self.read_node(right_id)?;
         let separator = pivots[li].clone();
 
-        let merged_size = left.serialized_size() + right.serialized_size()
-            - NODE_HEADER_BYTES
+        let merged_size = left.serialized_size() + right.serialized_size() - NODE_HEADER_BYTES
             + match &left {
                 Node::Internal { .. } => 4 + separator.len(),
                 Node::Leaf { .. } => 0,
@@ -375,8 +418,14 @@ impl BTree {
                     le.extend(re);
                 }
                 (
-                    Node::Internal { pivots: lp, children: lc },
-                    Node::Internal { pivots: rp, children: rc },
+                    Node::Internal {
+                        pivots: lp,
+                        children: lc,
+                    },
+                    Node::Internal {
+                        pivots: rp,
+                        children: rc,
+                    },
                 ) => {
                     lp.push(separator.clone());
                     lp.extend(rp);
@@ -398,8 +447,10 @@ impl BTree {
             (Node::Leaf { entries: le }, Node::Leaf { entries: re }) => {
                 let mut all: Vec<(Vec<u8>, Vec<u8>)> = std::mem::take(le);
                 all.extend(std::mem::take(re));
-                let total: usize =
-                    all.iter().map(|(k, v)| LEAF_ENTRY_OVERHEAD + k.len() + v.len()).sum();
+                let total: usize = all
+                    .iter()
+                    .map(|(k, v)| LEAF_ENTRY_OVERHEAD + k.len() + v.len())
+                    .sum();
                 let mut acc = 0usize;
                 let mut split = all.len() / 2;
                 for (i, (k, v)) in all.iter().enumerate() {
@@ -416,8 +467,14 @@ impl BTree {
                 sep
             }
             (
-                Node::Internal { pivots: lp, children: lc },
-                Node::Internal { pivots: rp, children: rc },
+                Node::Internal {
+                    pivots: lp,
+                    children: lc,
+                },
+                Node::Internal {
+                    pivots: rp,
+                    children: rc,
+                },
             ) => {
                 let mut all_p: Vec<Vec<u8>> = std::mem::take(lp);
                 all_p.push(separator.clone());
@@ -448,7 +505,10 @@ impl BTree {
         loop {
             let node = self.read_node(self.root)?;
             match node {
-                Node::Internal { ref pivots, ref children } if pivots.is_empty() => {
+                Node::Internal {
+                    ref pivots,
+                    ref children,
+                } if pivots.is_empty() => {
                     let only = children[0];
                     self.free_node(self.root);
                     self.root = only;
@@ -533,7 +593,9 @@ impl BTree {
         for (k, v) in pairs {
             if let Some(prev) = &last_key {
                 if *prev >= k {
-                    return Err(KvError::Config("bulk_load input not strictly ascending".into()));
+                    return Err(KvError::Config(
+                        "bulk_load input not strictly ascending".into(),
+                    ));
                 }
             }
             last_key = Some(k.clone());
@@ -542,7 +604,12 @@ impl BTree {
             if current_bytes + sz > target && !current.is_empty() {
                 let id = tree.alloc_node()?;
                 let first = current[0].0.clone();
-                tree.write_node(id, &Node::Leaf { entries: std::mem::take(&mut current) })?;
+                tree.write_node(
+                    id,
+                    &Node::Leaf {
+                        entries: std::mem::take(&mut current),
+                    },
+                )?;
                 leaf_refs.push((first, id));
                 current_bytes = NODE_HEADER_BYTES;
             }
@@ -649,13 +716,17 @@ impl BTree {
             perm.swap(i, j);
         }
         // Read every leaf, rewrite it at its permuted slot, patch parents.
-        let contents: Vec<Node> =
-            refs.iter().map(|&(_, _, leaf)| self.read_node(leaf)).collect::<Result<_, _>>()?;
+        let contents: Vec<Node> = refs
+            .iter()
+            .map(|&(_, _, leaf)| self.read_node(leaf))
+            .collect::<Result<_, _>>()?;
         for (i, &(parent, idx, _)) in refs.iter().enumerate() {
             let new_slot = refs[perm[i]].2;
             self.write_node(new_slot, &contents[i])?;
             let mut pnode = self.read_node(parent)?;
-            let Node::Internal { children, .. } = &mut pnode else { unreachable!() };
+            let Node::Internal { children, .. } = &mut pnode else {
+                unreachable!()
+            };
             children[idx] = new_slot;
             self.write_node(parent, &pnode)?;
         }
@@ -724,8 +795,16 @@ impl BTree {
                 }
                 let mut total = 0u64;
                 for (i, &child) in children.iter().enumerate() {
-                    let clo = if i == 0 { lo } else { Some(pivots[i - 1].as_slice()) };
-                    let chi = if i == pivots.len() { hi } else { Some(pivots[i].as_slice()) };
+                    let clo = if i == 0 {
+                        lo
+                    } else {
+                        Some(pivots[i - 1].as_slice())
+                    };
+                    let chi = if i == pivots.len() {
+                        hi
+                    } else {
+                        Some(pivots[i].as_slice())
+                    };
                     total += self.check_rec(child, level - 1, clo, chi)?;
                 }
                 Ok(total)
@@ -752,7 +831,10 @@ impl Dictionary for BTree {
         let (new_key, split) = self.insert_rec(root, key, value)?;
         if let Some((pivot, right)) = split {
             let new_root = self.alloc_node()?;
-            let node = Node::Internal { pivots: vec![pivot], children: vec![root, right] };
+            let node = Node::Internal {
+                pivots: vec![pivot],
+                children: vec![root, right],
+            };
             self.write_node(new_root, &node)?;
             self.root = new_root;
             self.height += 1;
@@ -801,7 +883,10 @@ impl Dictionary for BTree {
 
     fn sync(&mut self) -> Result<(), KvError> {
         let snap = self.pager.snapshot();
-        self.flush()?;
+        // Durability contract: after a successful sync, `open` on the same
+        // device recovers this exact state — so write the superblock too,
+        // not just the dirty nodes.
+        self.persist()?;
         self.finish_op(&snap);
         Ok(())
     }
@@ -823,7 +908,10 @@ mod tests {
     }
 
     fn kv(i: u64) -> (Vec<u8>, Vec<u8>) {
-        (key_from_u64(i).to_vec(), format!("value-{i:08}").into_bytes())
+        (
+            key_from_u64(i).to_vec(),
+            format!("value-{i:08}").into_bytes(),
+        )
     }
 
     #[test]
@@ -966,8 +1054,14 @@ mod tests {
             let (k, v) = kv(i);
             t.insert(&k, &v).unwrap();
         }
-        assert!(t.range(&key_from_u64(10), &key_from_u64(10)).unwrap().is_empty());
-        assert!(t.range(&key_from_u64(20), &key_from_u64(10)).unwrap().is_empty());
+        assert!(t
+            .range(&key_from_u64(10), &key_from_u64(10))
+            .unwrap()
+            .is_empty());
+        assert!(t
+            .range(&key_from_u64(20), &key_from_u64(10))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -22,7 +22,12 @@ impl Allocator {
     /// holds a superblock.
     pub fn new(capacity: u64, reserved: u64) -> Self {
         assert!(reserved <= capacity);
-        Allocator { capacity, next: reserved, free_lists: BTreeMap::new(), live_bytes: 0 }
+        Allocator {
+            capacity,
+            next: reserved,
+            free_lists: BTreeMap::new(),
+            live_bytes: 0,
+        }
     }
 
     /// Allocate `len` bytes; returns the offset, or `None` when the device
@@ -68,7 +73,10 @@ impl Allocator {
 
     /// Total bytes sitting on free lists.
     pub fn free_list_bytes(&self) -> u64 {
-        self.free_lists.iter().map(|(len, v)| len * v.len() as u64).sum()
+        self.free_lists
+            .iter()
+            .map(|(len, v)| len * v.len() as u64)
+            .sum()
     }
 
     /// Export the allocator state for a superblock: the high-water mark and
@@ -76,7 +84,10 @@ impl Allocator {
     pub fn export_state(&self) -> (u64, Vec<(u64, Vec<u64>)>) {
         (
             self.next,
-            self.free_lists.iter().map(|(&len, offs)| (len, offs.clone())).collect(),
+            self.free_lists
+                .iter()
+                .map(|(&len, offs)| (len, offs.clone()))
+                .collect(),
         )
     }
 

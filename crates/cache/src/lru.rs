@@ -29,7 +29,13 @@ pub struct LruList {
 impl LruList {
     /// Empty list.
     pub fn new() -> Self {
-        LruList { nodes: Vec::new(), free: Vec::new(), head: NIL, tail: NIL, len: 0 }
+        LruList {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
     }
 
     /// Number of linked entries.
@@ -47,7 +53,11 @@ impl LruList {
         let id = match self.free.pop() {
             Some(id) => id,
             None => {
-                self.nodes.push(Node { prev: NIL, next: NIL, in_list: false });
+                self.nodes.push(Node {
+                    prev: NIL,
+                    next: NIL,
+                    in_list: false,
+                });
                 (self.nodes.len() - 1) as u32
             }
         };
@@ -58,7 +68,11 @@ impl LruList {
     fn link_front(&mut self, id: u32) {
         debug_assert!(!self.nodes[id as usize].in_list);
         let old_head = self.head;
-        self.nodes[id as usize] = Node { prev: NIL, next: old_head, in_list: true };
+        self.nodes[id as usize] = Node {
+            prev: NIL,
+            next: old_head,
+            in_list: true,
+        };
         if old_head != NIL {
             self.nodes[old_head as usize].prev = id;
         }

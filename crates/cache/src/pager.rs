@@ -44,7 +44,11 @@ impl std::fmt::Display for PagerError {
             PagerError::Io(e) => write!(f, "io error: {e}"),
             PagerError::OutOfSpace => write!(f, "device out of space"),
             PagerError::OutOfCache => write!(f, "cache exhausted (all pages pinned)"),
-            PagerError::SizeMismatch { offset, cached, requested } => write!(
+            PagerError::SizeMismatch {
+                offset,
+                cached,
+                requested,
+            } => write!(
                 f,
                 "size mismatch at {offset}: cached {cached} vs requested {requested}"
             ),
@@ -214,7 +218,9 @@ impl Pager {
     /// Drop a cached object without writing it back.
     pub fn discard(&mut self, offset: u64) {
         if let Some(slot) = self.map.remove(&offset) {
-            let entry = self.slots[slot as usize].take().expect("mapped slot must be live");
+            let entry = self.slots[slot as usize]
+                .take()
+                .expect("mapped slot must be live");
             self.used -= entry.data.len() as u64;
             self.lru.remove(slot);
         }
@@ -265,7 +271,9 @@ impl Pager {
                 }
             }
             let slot = candidate.expect("loop exits with Some");
-            let entry = self.slots[slot as usize].take().expect("lru slot must be live");
+            let entry = self.slots[slot as usize]
+                .take()
+                .expect("lru slot must be live");
             self.map.remove(&entry.offset);
             self.lru.remove(slot);
             self.used -= entry.data.len() as u64;
@@ -302,7 +310,12 @@ impl Pager {
         let slot = self.lru.push_front();
         self.ensure_slot(slot);
         self.used += data.len() as u64;
-        self.slots[slot as usize] = Some(PageEntry { offset, data, dirty, pins: 0 });
+        self.slots[slot as usize] = Some(PageEntry {
+            offset,
+            data,
+            dirty,
+            pins: 0,
+        });
         self.map.insert(offset, slot);
         Ok(())
     }
@@ -311,7 +324,9 @@ impl Pager {
     /// free; misses charge device time and cache the object.
     pub fn read(&mut self, offset: u64, len: usize) -> Result<Vec<u8>, PagerError> {
         if let Some(&slot) = self.map.get(&offset) {
-            let entry = self.slots[slot as usize].as_ref().expect("mapped slot must be live");
+            let entry = self.slots[slot as usize]
+                .as_ref()
+                .expect("mapped slot must be live");
             if entry.data.len() != len {
                 // A clean object of a different size is a stale sub-range
                 // view (a segment cached at the enclosing object's base
@@ -329,7 +344,11 @@ impl Pager {
             } else {
                 self.counters.hits += 1;
                 self.lru.touch(slot);
-                return Ok(self.slots[slot as usize].as_ref().expect("just checked").data.clone());
+                return Ok(self.slots[slot as usize]
+                    .as_ref()
+                    .expect("just checked")
+                    .data
+                    .clone());
             }
         }
         let mut buf = vec![0u8; len];
@@ -361,10 +380,15 @@ impl Pager {
         sub_off: usize,
         sub_len: usize,
     ) -> Result<Vec<u8>, PagerError> {
-        assert!(sub_off + sub_len <= base_len, "sub-range escapes the object");
+        assert!(
+            sub_off + sub_len <= base_len,
+            "sub-range escapes the object"
+        );
         // Whole object cached (possibly dirty): serve from it.
         if let Some(&slot) = self.map.get(&base) {
-            let entry = self.slots[slot as usize].as_ref().expect("mapped slot must be live");
+            let entry = self.slots[slot as usize]
+                .as_ref()
+                .expect("mapped slot must be live");
             if entry.data.len() == base_len {
                 self.counters.hits += 1;
                 self.lru.touch(slot);
@@ -375,7 +399,9 @@ impl Pager {
         // Sub-object cached from an earlier partial read.
         let abs = base + sub_off as u64;
         if let Some(&slot) = self.map.get(&abs) {
-            let entry = self.slots[slot as usize].as_ref().expect("mapped slot must be live");
+            let entry = self.slots[slot as usize]
+                .as_ref()
+                .expect("mapped slot must be live");
             if entry.data.len() == sub_len && !entry.dirty {
                 self.counters.hits += 1;
                 self.lru.touch(slot);
@@ -401,7 +427,9 @@ impl Pager {
     pub fn write(&mut self, offset: u64, data: Vec<u8>) -> Result<(), PagerError> {
         self.discard_range_contained(offset, data.len() as u64);
         if let Some(&slot) = self.map.get(&offset) {
-            let entry = self.slots[slot as usize].as_mut().expect("mapped slot must be live");
+            let entry = self.slots[slot as usize]
+                .as_mut()
+                .expect("mapped slot must be live");
             self.used = self.used - entry.data.len() as u64 + data.len() as u64;
             entry.data = data;
             entry.dirty = true;
@@ -425,7 +453,9 @@ impl Pager {
         self.discard_range_contained(offset, data.len() as u64);
         self.device_write(offset, &data)?;
         if let Some(&slot) = self.map.get(&offset) {
-            let entry = self.slots[slot as usize].as_mut().expect("mapped slot must be live");
+            let entry = self.slots[slot as usize]
+                .as_mut()
+                .expect("mapped slot must be live");
             self.used = self.used - entry.data.len() as u64 + data.len() as u64;
             entry.data = data;
             entry.dirty = false;
@@ -442,7 +472,10 @@ impl Pager {
     /// Pin a cached object (prevents eviction). Returns false if not cached.
     pub fn pin(&mut self, offset: u64) -> bool {
         if let Some(&slot) = self.map.get(&offset) {
-            self.slots[slot as usize].as_mut().expect("mapped slot must be live").pins += 1;
+            self.slots[slot as usize]
+                .as_mut()
+                .expect("mapped slot must be live")
+                .pins += 1;
             true
         } else {
             false
@@ -452,7 +485,9 @@ impl Pager {
     /// Release a pin.
     pub fn unpin(&mut self, offset: u64) {
         if let Some(&slot) = self.map.get(&offset) {
-            let e = self.slots[slot as usize].as_mut().expect("mapped slot must be live");
+            let e = self.slots[slot as usize]
+                .as_mut()
+                .expect("mapped slot must be live");
             assert!(e.pins > 0, "unpin without pin");
             e.pins -= 1;
         }
@@ -465,7 +500,10 @@ impl Pager {
             .map
             .iter()
             .filter(|(_, &slot)| {
-                self.slots[slot as usize].as_ref().expect("mapped slot must be live").dirty
+                self.slots[slot as usize]
+                    .as_ref()
+                    .expect("mapped slot must be live")
+                    .dirty
             })
             .map(|(&off, _)| off)
             .collect();
@@ -479,7 +517,10 @@ impl Pager {
                 .clone();
             self.device_write(off, &data)?;
             self.counters.writebacks += 1;
-            self.slots[slot as usize].as_mut().expect("mapped slot must be live").dirty = false;
+            self.slots[slot as usize]
+                .as_mut()
+                .expect("mapped slot must be live")
+                .dirty = false;
         }
         Ok(())
     }
@@ -572,7 +613,11 @@ mod tests {
         p.write(c, vec![3; 100]).unwrap(); // must evict b, not pinned a
         let before = p.counters().misses;
         p.read(a, 100).unwrap();
-        assert_eq!(p.counters().misses, before, "pinned page must still be cached");
+        assert_eq!(
+            p.counters().misses,
+            before,
+            "pinned page must still be cached"
+        );
         p.unpin(a);
     }
 
@@ -634,7 +679,10 @@ mod tests {
         let mut p = pager(10_000);
         let a = p.alloc(100).unwrap();
         p.write(a, vec![1; 100]).unwrap();
-        assert!(matches!(p.read(a, 50), Err(PagerError::SizeMismatch { .. })));
+        assert!(matches!(
+            p.read(a, 50),
+            Err(PagerError::SizeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -722,7 +770,11 @@ mod tests {
         // Rewrite the whole object.
         p.write(a, vec![2; 400]).unwrap();
         let seg = p.read_within(a, 400, 0, 100).unwrap();
-        assert_eq!(seg, vec![2; 100], "stale sub-object must have been discarded");
+        assert_eq!(
+            seg,
+            vec![2; 100],
+            "stale sub-object must have been discarded"
+        );
     }
 
     #[test]
@@ -742,7 +794,11 @@ mod tests {
 
     #[test]
     fn hit_rate_computation() {
-        let c = PagerCounters { hits: 3, misses: 1, ..Default::default() };
+        let c = PagerCounters {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
         assert!((c.hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(PagerCounters::default().hit_rate(), 0.0);
     }

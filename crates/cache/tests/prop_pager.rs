@@ -9,9 +9,9 @@ use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Write(u8, u8),   // slot index, fill byte
-    Read(u8),        // slot index
-    Free(u8),        // slot index
+    Write(u8, u8), // slot index, fill byte
+    Read(u8),      // slot index
+    Free(u8),      // slot index
     Flush,
     DropCache,
 }

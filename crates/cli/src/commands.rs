@@ -17,16 +17,37 @@ enum Device {
 
 fn device_catalog() -> Vec<(&'static str, Device)> {
     vec![
-        ("seagate-2tb-2002", Device::Hdd(profiles::seagate_2tb_2002())),
-        ("seagate-250gb-2006", Device::Hdd(profiles::seagate_250gb_2006())),
-        ("hitachi-1tb-2009", Device::Hdd(profiles::hitachi_1tb_2009())),
-        ("wd-black-1tb-2011", Device::Hdd(profiles::wd_black_1tb_2011())),
+        (
+            "seagate-2tb-2002",
+            Device::Hdd(profiles::seagate_2tb_2002()),
+        ),
+        (
+            "seagate-250gb-2006",
+            Device::Hdd(profiles::seagate_250gb_2006()),
+        ),
+        (
+            "hitachi-1tb-2009",
+            Device::Hdd(profiles::hitachi_1tb_2009()),
+        ),
+        (
+            "wd-black-1tb-2011",
+            Device::Hdd(profiles::wd_black_1tb_2011()),
+        ),
         ("wd-red-6tb-2018", Device::Hdd(profiles::wd_red_6tb_2018())),
-        ("toshiba-dt01aca050", Device::Hdd(profiles::toshiba_dt01aca050())),
+        (
+            "toshiba-dt01aca050",
+            Device::Hdd(profiles::toshiba_dt01aca050()),
+        ),
         ("samsung-860-pro", Device::Ssd(profiles::samsung_860_pro())),
         ("samsung-970-pro", Device::Ssd(profiles::samsung_970_pro())),
-        ("silicon-power-s55", Device::Ssd(profiles::silicon_power_s55())),
-        ("sandisk-ultra-ii", Device::Ssd(profiles::sandisk_ultra_ii())),
+        (
+            "silicon-power-s55",
+            Device::Ssd(profiles::silicon_power_s55()),
+        ),
+        (
+            "sandisk-ultra-ii",
+            Device::Ssd(profiles::sandisk_ultra_ii()),
+        ),
         ("samsung-860-evo", Device::Ssd(profiles::samsung_860_evo())),
     ]
 }
@@ -37,7 +58,9 @@ fn find_device(name: &str) -> Result<Device, CliError> {
         .find(|(n, _)| *n == name)
         .map(|(_, d)| d)
         .ok_or_else(|| {
-            CliError::Usage(format!("unknown device '{name}'; run 'damlab devices' for the list"))
+            CliError::Usage(format!(
+                "unknown device '{name}'; run 'damlab devices' for the list"
+            ))
         })
 }
 
@@ -132,25 +155,24 @@ pub fn profile(args: &Args) -> Result<String, CliError> {
 
 /// `damlab tune --device <name> | --alpha-4k <a>`.
 pub fn tune(args: &Args) -> Result<String, CliError> {
-    let alpha_per_byte = if let Some(a4k) = args.get_f64("alpha-4k")? {
-        if a4k <= 0.0 {
-            return Err(CliError::Usage("--alpha-4k must be positive".into()));
-        }
-        a4k / 4096.0
-    } else {
-        let name = args.require("device").map_err(|_| {
-            CliError::Usage("tune needs --device <name> or --alpha-4k <a>".into())
-        })?;
-        match find_device(name)? {
-            Device::Hdd(p) => p.alpha_per_byte(),
-            Device::Ssd(_) => {
-                return Err(CliError::Usage(
+    let alpha_per_byte =
+        if let Some(a4k) = args.get_f64("alpha-4k")? {
+            if a4k <= 0.0 {
+                return Err(CliError::Usage("--alpha-4k must be positive".into()));
+            }
+            a4k / 4096.0
+        } else {
+            let name = args.require("device").map_err(|_| {
+                CliError::Usage("tune needs --device <name> or --alpha-4k <a>".into())
+            })?;
+            match find_device(name)? {
+                Device::Hdd(p) => p.alpha_per_byte(),
+                Device::Ssd(_) => return Err(CliError::Usage(
                     "tune targets affine (HDD) devices; for SSDs see 'profile' and §8's PB sizing"
                         .into(),
-                ))
+                )),
             }
-        }
-    };
+        };
     let n_keys = args.get_u64("keys", 2_000_000_000)? as f64;
     let cache_mb = args.get_u64("cache-mb", 4096)? as f64;
     let entry = args.get_u64("entry-bytes", 116)? as f64;
@@ -191,17 +213,27 @@ pub fn run_workload(args: &Args) -> Result<String, CliError> {
     let node_bytes = (node_kb * 1024) as usize;
     let cache = cache_mb << 20;
     let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..keys)
-        .map(|i| (refined_dam::kv::key_from_u64(2 * i).to_vec(), vec![(i % 251) as u8; 100]))
+        .map(|i| {
+            (
+                refined_dam::kv::key_from_u64(2 * i).to_vec(),
+                vec![(i % 251) as u8; 100],
+            )
+        })
         .collect();
 
     let map_err = |e: KvError| CliError::Runtime(e.to_string());
     let mut dict: Box<dyn Dictionary> = match structure.as_str() {
         "btree" => Box::new(
-            BTree::bulk_load(device, BTreeConfig::new(node_bytes, cache), pairs).map_err(map_err)?,
+            BTree::bulk_load(device, BTreeConfig::new(node_bytes, cache), pairs)
+                .map_err(map_err)?,
         ),
         "betree" => Box::new(
-            BeTree::bulk_load(device, BeTreeConfig::sqrt_fanout(node_bytes, 124, cache), pairs)
-                .map_err(map_err)?,
+            BeTree::bulk_load(
+                device,
+                BeTreeConfig::sqrt_fanout(node_bytes, 124, cache),
+                pairs,
+            )
+            .map_err(map_err)?,
         ),
         "optbetree" => Box::new(
             OptBeTree::bulk_load(device, OptConfig::balanced(node_bytes, 124, cache), pairs)
@@ -252,8 +284,22 @@ pub fn experiment(args: &Args) -> Result<String, CliError> {
         scale.seed = seed as u64;
     }
     let known = [
-        "list", "fig1", "table1", "table2", "table3", "fig2", "fig3", "lemma1", "thm9",
-        "lemma13", "optima", "writeamp", "lsm", "wod", "aging", "oltp-olap",
+        "list",
+        "fig1",
+        "table1",
+        "table2",
+        "table3",
+        "fig2",
+        "fig3",
+        "lemma1",
+        "thm9",
+        "lemma13",
+        "optima",
+        "writeamp",
+        "lsm",
+        "wod",
+        "aging",
+        "oltp-olap",
     ];
     let out = match name {
         "list" => format!("experiments: {}\n", known[1..].join(", ")),
@@ -261,16 +307,24 @@ pub fn experiment(args: &Args) -> Result<String, CliError> {
             let rows = experiments::fig1_and_table1(&scale);
             let mut s = String::new();
             for r in rows {
-                writeln!(s, "{}: P={:.1} sat={:.0}MB/s R2={:.3}", r.device, r.p, r.saturation_mb_s, r.r2)
-                    .unwrap();
+                writeln!(
+                    s,
+                    "{}: P={:.1} sat={:.0}MB/s R2={:.3}",
+                    r.device, r.p, r.saturation_mb_s, r.r2
+                )
+                .unwrap();
             }
             s
         }
         "table2" => {
             let mut s = String::new();
             for r in experiments::table2(&scale) {
-                writeln!(s, "{}: s={:.4} t={:.6} alpha={:.4} R2={:.4}", r.disk, r.s, r.t_per_4k, r.alpha, r.r2)
-                    .unwrap();
+                writeln!(
+                    s,
+                    "{}: s={:.4} t={:.6} alpha={:.4} R2={:.4}",
+                    r.disk, r.s, r.t_per_4k, r.alpha, r.r2
+                )
+                .unwrap();
             }
             s
         }
@@ -286,66 +340,118 @@ pub fn experiment(args: &Args) -> Result<String, CliError> {
         "lemma1" => {
             let mut s = String::new();
             for r in experiments::lemma1(&scale) {
-                writeln!(s, "{}: dam/affine = {:.3} (holds: {})", r.trace, r.error_factor, r.holds)
-                    .unwrap();
+                writeln!(
+                    s,
+                    "{}: dam/affine = {:.3} (holds: {})",
+                    r.trace, r.error_factor, r.holds
+                )
+                .unwrap();
             }
             s
         }
         "thm9" => {
             let mut s = String::new();
             for r in experiments::thm9_ablation(&scale) {
-                writeln!(s, "{}: query {:.2}ms insert {:.3}ms bytes/q {:.0}", r.variant, r.query_ms, r.insert_ms, r.query_bytes).unwrap();
+                writeln!(
+                    s,
+                    "{}: query {:.2}ms insert {:.3}ms bytes/q {:.0}",
+                    r.variant, r.query_ms, r.insert_ms, r.query_bytes
+                )
+                .unwrap();
             }
             s
         }
         "lemma13" => {
             let mut s = String::new();
             for r in experiments::lemma13(&scale) {
-                writeln!(s, "k={}: veb {:.3} sorted {:.3} small {:.3}", r.clients, r.fat_veb, r.fat_sorted, r.small_nodes).unwrap();
+                writeln!(
+                    s,
+                    "k={}: veb {:.3} sorted {:.3} small {:.3}",
+                    r.clients, r.fat_veb, r.fat_sorted, r.small_nodes
+                )
+                .unwrap();
             }
             s
         }
         "optima" => {
             let mut s = String::new();
             for r in experiments::corollary_optima() {
-                writeln!(s, "{}: 1/a={:.0}KiB btree={:.0}KiB F={:.0} Be={:.0}MiB speedup={:.1}x",
-                    r.disk, r.half_bandwidth/1024.0, r.btree_point/1024.0, r.betree_fanout,
-                    r.betree_node/(1<<20) as f64, r.insert_speedup).unwrap();
+                writeln!(
+                    s,
+                    "{}: 1/a={:.0}KiB btree={:.0}KiB F={:.0} Be={:.0}MiB speedup={:.1}x",
+                    r.disk,
+                    r.half_bandwidth / 1024.0,
+                    r.btree_point / 1024.0,
+                    r.betree_fanout,
+                    r.betree_node / (1 << 20) as f64,
+                    r.insert_speedup
+                )
+                .unwrap();
             }
             s
         }
         "writeamp" => {
             let mut s = String::new();
             for r in experiments::write_amp(&scale) {
-                writeln!(s, "{}: measured {:.1} model {:.1}", r.structure, r.measured, r.predicted).unwrap();
+                writeln!(
+                    s,
+                    "{}: measured {:.1} model {:.1}",
+                    r.structure, r.measured, r.predicted
+                )
+                .unwrap();
             }
             s
         }
         "lsm" => {
             let mut s = String::new();
             for r in experiments::lsm_sstable_size(&scale) {
-                writeln!(s, "{}KiB: query {:.2}ms insert {:.3}ms WA {:.1}", r.sstable_bytes/1024, r.query_ms, r.insert_ms, r.write_amp).unwrap();
+                writeln!(
+                    s,
+                    "{}KiB: query {:.2}ms insert {:.3}ms WA {:.1}",
+                    r.sstable_bytes / 1024,
+                    r.query_ms,
+                    r.insert_ms,
+                    r.write_amp
+                )
+                .unwrap();
             }
             s
         }
         "wod" => {
             let mut s = String::new();
             for r in experiments::wod_comparison(&scale) {
-                writeln!(s, "{}: query {:.2}ms insert {:.3}ms range {:.2}ms", r.structure, r.query_ms, r.insert_ms, r.range_ms).unwrap();
+                writeln!(
+                    s,
+                    "{}: query {:.2}ms insert {:.3}ms range {:.2}ms",
+                    r.structure, r.query_ms, r.insert_ms, r.range_ms
+                )
+                .unwrap();
             }
             s
         }
         "aging" => {
             let mut s = String::new();
             for r in experiments::aging(&scale) {
-                writeln!(s, "{}: scan {:.1} MB/s, point {:.2} ms", r.state, r.scan_mb_s, r.point_ms).unwrap();
+                writeln!(
+                    s,
+                    "{}: scan {:.1} MB/s, point {:.2} ms",
+                    r.state, r.scan_mb_s, r.point_ms
+                )
+                .unwrap();
             }
             s
         }
         "oltp-olap" => {
             let mut s = String::new();
             for r in experiments::oltp_olap(&scale) {
-                writeln!(s, "{}KiB: point {:.2}ms scan {:.1}MB/s", r.node_bytes/1024, r.point_ms, r.scan_mb_s).unwrap();
+                writeln!(
+                    s,
+                    "{}KiB: point {:.2}ms scan {:.1}MB/s",
+                    r.node_bytes / 1024,
+                    r.point_ms,
+                    r.scan_mb_s
+                )
+                .unwrap();
             }
             s
         }
@@ -414,7 +520,10 @@ mod tests {
 
     #[test]
     fn profile_unknown_device_errors() {
-        assert!(matches!(run("profile --device floppy"), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run("profile --device floppy"),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
@@ -424,7 +533,10 @@ mod tests {
         let b = run("tune --alpha-4k 0.0029").unwrap();
         assert!(b.contains("half-bandwidth"), "{b}");
         assert!(matches!(run("tune"), Err(CliError::Usage(_))));
-        assert!(matches!(run("tune --device samsung-860-pro"), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run("tune --device samsung-860-pro"),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

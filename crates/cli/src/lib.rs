@@ -31,6 +31,8 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "run" => commands::run_workload(&args),
         "experiment" => commands::experiment(&args),
         "help" | "" => Ok(commands::help()),
-        other => Err(CliError::Usage(format!("unknown command '{other}'; try 'damlab help'"))),
+        other => Err(CliError::Usage(format!(
+            "unknown command '{other}'; try 'damlab help'"
+        ))),
     }
 }

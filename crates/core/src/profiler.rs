@@ -64,7 +64,10 @@ pub fn profile_pdam(
     io_bytes: u64,
     seed: u64,
 ) -> Result<PdamProfile, ProfileError> {
-    assert!(threads.len() >= 4, "need at least 4 thread counts for a segmented fit");
+    assert!(
+        threads.len() >= 4,
+        "need at least 4 thread counts for a segmented fit"
+    );
     let mut series = Vec::with_capacity(threads.len());
     for &p in threads {
         let mut device = factory();
@@ -83,7 +86,13 @@ pub fn profile_pdam(
     } else {
         f64::INFINITY
     };
-    Ok(PdamProfile { series, p: fit.knee_x, saturation_bytes_s, r2: fit.r2, fit })
+    Ok(PdamProfile {
+        series,
+        p: fit.knee_x,
+        saturation_bytes_s,
+        r2: fit.r2,
+        fit,
+    })
 }
 
 /// Result of the §4.2 affine benchmark: the size-vs-time series and the
@@ -191,7 +200,11 @@ mod tests {
         // Saturation should be near the bus rate.
         let target = profile.saturated_read_rate();
         let ratio = report.saturation_bytes_s / target;
-        assert!((0.9..1.1).contains(&ratio), "saturation {} vs {target}", report.saturation_bytes_s);
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "saturation {} vs {target}",
+            report.saturation_bytes_s
+        );
     }
 
     #[test]
@@ -221,7 +234,11 @@ mod tests {
             5,
         )
         .unwrap();
-        assert!((report.setup_s - 0.012).abs() / 0.012 < 0.1, "s = {}", report.setup_s);
+        assert!(
+            (report.setup_s - 0.012).abs() / 0.012 < 0.1,
+            "s = {}",
+            report.setup_s
+        );
         assert!(
             (report.t_per_4k - 0.000035).abs() / 0.000035 < 0.1,
             "t = {}",

@@ -40,7 +40,10 @@ pub fn tune_for_affine(affine: &Affine, shape: &DictShape) -> AffineTuning {
     let ae = affine.alpha * shape.entry_bytes;
     let (fanout, node_entries) = optimal::optimal_betree_params(ae);
     let betree_node_bytes = node_entries * shape.entry_bytes;
-    let cfg = BetreeConfig { node_bytes: betree_node_bytes, fanout };
+    let cfg = BetreeConfig {
+        node_bytes: betree_node_bytes,
+        fanout,
+    };
     let btree_cost = btree_costs::point_op_cost(affine, shape, btree_point);
     let betree_query = betree_costs::query_cost_optimized(affine, shape, &cfg);
     let betree_insert = betree_costs::insert_cost(affine, shape, &cfg);
@@ -53,7 +56,11 @@ pub fn tune_for_affine(affine: &Affine, shape: &DictShape) -> AffineTuning {
         predicted_btree_point_cost: btree_cost,
         predicted_betree_query_cost: betree_query,
         predicted_betree_insert_cost: betree_insert,
-        insert_speedup: if betree_insert > 0.0 { btree_cost / betree_insert } else { f64::INFINITY },
+        insert_speedup: if betree_insert > 0.0 {
+            btree_cost / betree_insert
+        } else {
+            f64::INFINITY
+        },
     }
 }
 

@@ -18,15 +18,30 @@ pub enum CodecError {
     },
     /// A length prefix or tag was nonsensical.
     Invalid(&'static str),
+    /// A frame's stored CRC32 disagrees with the payload — a torn write or
+    /// bit rot reached the device.
+    ChecksumMismatch {
+        /// CRC stored in the frame header.
+        stored: u32,
+        /// CRC computed over the payload actually read.
+        computed: u32,
+    },
 }
 
 impl std::fmt::Display for CodecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CodecError::UnexpectedEof { needed, remaining } => {
-                write!(f, "unexpected EOF: needed {needed} bytes, {remaining} remaining")
+                write!(
+                    f,
+                    "unexpected EOF: needed {needed} bytes, {remaining} remaining"
+                )
             }
             CodecError::Invalid(what) => write!(f, "invalid encoding: {what}"),
+            CodecError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: frame says {stored:#010x}, payload hashes to {computed:#010x}"
+            ),
         }
     }
 }
@@ -47,7 +62,9 @@ impl Writer {
 
     /// Writer with preallocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        Writer { buf: Vec::with_capacity(cap) }
+        Writer {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Bytes written so far.
@@ -118,7 +135,10 @@ impl<'a> Reader<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         if self.remaining() < n {
-            return Err(CodecError::UnexpectedEof { needed: n, remaining: self.remaining() });
+            return Err(CodecError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -146,7 +166,10 @@ impl<'a> Reader<'a> {
     pub fn get_bytes(&mut self) -> Result<&'a [u8], CodecError> {
         let len = self.get_u32()? as usize;
         if len > self.remaining() {
-            return Err(CodecError::UnexpectedEof { needed: len, remaining: self.remaining() });
+            return Err(CodecError::UnexpectedEof {
+                needed: len,
+                remaining: self.remaining(),
+            });
         }
         self.take(len)
     }
@@ -155,6 +178,112 @@ impl<'a> Reader<'a> {
     pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         self.take(n)
     }
+}
+
+// ---------------------------------------------------------------------------
+// Checksummed block frame
+// ---------------------------------------------------------------------------
+
+/// Bytes the frame header adds in front of a payload: CRC32 + payload length
+/// + format version.
+pub const FRAME_OVERHEAD: usize = 4 + 4 + 1;
+
+/// Current frame format version.
+pub const FRAME_VERSION: u8 = 1;
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    // CRC-32 (IEEE 802.3), reflected, polynomial 0xEDB88320.
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Wrap `payload` in a checksummed frame:
+/// `[crc32: u32][payload_len: u32][version: u8][payload]`, with the CRC
+/// computed over everything after it (length, version, and payload), so a
+/// corrupted length or version field is also caught.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload.len() <= u32::MAX as usize);
+    let mut buf = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
+    buf.extend_from_slice(&[0u8; 4]); // CRC placeholder
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.push(FRAME_VERSION);
+    buf.extend_from_slice(payload);
+    let crc = crc32(&buf[4..]);
+    buf[..4].copy_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Frame `payload` and zero-pad the result to exactly `slot_bytes` (the
+/// fixed-size node/segment images the DAM prices). Panics in debug builds if
+/// the framed payload exceeds the slot — callers size payloads first.
+pub fn frame_into_slot(payload: &[u8], slot_bytes: usize) -> Vec<u8> {
+    let mut buf = frame(payload);
+    debug_assert!(
+        buf.len() <= slot_bytes,
+        "framed payload of {} bytes exceeds slot of {slot_bytes}",
+        buf.len()
+    );
+    buf.resize(slot_bytes, 0);
+    buf
+}
+
+/// Validate and strip a frame written by [`frame`], returning the payload.
+/// Trailing padding beyond the framed length is ignored. Any damage — a
+/// truncated buffer, an unknown version (including all-zero blocks that were
+/// never written), a lying length, or a checksum mismatch — comes back as a
+/// [`CodecError`], never garbage bytes.
+pub fn unframe(buf: &[u8]) -> Result<&[u8], CodecError> {
+    if buf.len() < FRAME_OVERHEAD {
+        return Err(CodecError::UnexpectedEof {
+            needed: FRAME_OVERHEAD,
+            remaining: buf.len(),
+        });
+    }
+    let stored = u32::from_le_bytes(buf[0..4].try_into().expect("slice of 4"));
+    let len = u32::from_le_bytes(buf[4..8].try_into().expect("slice of 4")) as usize;
+    let version = buf[8];
+    if version != FRAME_VERSION {
+        return Err(CodecError::Invalid(
+            "unknown frame version (unwritten or damaged block?)",
+        ));
+    }
+    if len > buf.len() - FRAME_OVERHEAD {
+        return Err(CodecError::UnexpectedEof {
+            needed: len,
+            remaining: buf.len() - FRAME_OVERHEAD,
+        });
+    }
+    let computed = crc32(&buf[4..FRAME_OVERHEAD + len]);
+    if computed != stored {
+        return Err(CodecError::ChecksumMismatch { stored, computed });
+    }
+    Ok(&buf[FRAME_OVERHEAD..FRAME_OVERHEAD + len])
 }
 
 #[cfg(test)]
@@ -193,7 +322,10 @@ mod tests {
         let mut r = Reader::new(&[1, 2]);
         assert_eq!(
             r.get_u32(),
-            Err(CodecError::UnexpectedEof { needed: 4, remaining: 2 })
+            Err(CodecError::UnexpectedEof {
+                needed: 4,
+                remaining: 2
+            })
         );
     }
 
@@ -203,7 +335,10 @@ mod tests {
         w.put_u32(1_000_000); // claims a megabyte follows
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
-        assert!(matches!(r.get_bytes(), Err(CodecError::UnexpectedEof { .. })));
+        assert!(matches!(
+            r.get_bytes(),
+            Err(CodecError::UnexpectedEof { .. })
+        ));
     }
 
     #[test]
@@ -226,5 +361,76 @@ mod tests {
         assert!(w.is_empty());
         w.put_u64(0);
         assert_eq!(w.len(), 8);
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        for payload in [&b""[..], b"x", b"hello world", &[0u8; 1000]] {
+            let framed = frame(payload);
+            assert_eq!(framed.len(), FRAME_OVERHEAD + payload.len());
+            assert_eq!(unframe(&framed).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn frame_into_slot_pads_and_roundtrips() {
+        let framed = frame_into_slot(b"abc", 64);
+        assert_eq!(framed.len(), 64);
+        assert_eq!(unframe(&framed).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn unframe_rejects_zeros_and_truncation() {
+        // An unwritten (all-zero) block must not decode.
+        assert!(matches!(unframe(&[0u8; 64]), Err(CodecError::Invalid(_))));
+        // Too short for a header.
+        assert!(matches!(
+            unframe(&[1, 2, 3]),
+            Err(CodecError::UnexpectedEof { .. })
+        ));
+        // Length field promising more than the buffer holds.
+        let mut framed = frame(b"hello");
+        framed.truncate(FRAME_OVERHEAD + 2);
+        assert!(matches!(
+            unframe(&framed),
+            Err(CodecError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn unframe_detects_payload_corruption() {
+        let mut framed = frame_into_slot(b"some node image", 64);
+        framed[FRAME_OVERHEAD + 3] ^= 0x40; // single bit flip in the payload
+        assert!(matches!(
+            unframe(&framed),
+            Err(CodecError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unframe_detects_header_corruption() {
+        let mut framed = frame(b"some node image");
+        framed[5] ^= 0x01; // corrupt the length field
+        assert!(unframe(&framed).is_err());
+        let mut framed = frame(b"some node image");
+        framed[8] = 99; // corrupt the version byte
+        assert!(matches!(unframe(&framed), Err(CodecError::Invalid(_))));
+    }
+
+    #[test]
+    fn unframe_detects_torn_prefix() {
+        // A torn write persists only a prefix of the frame; the tail keeps
+        // whatever was there before (zeros on a fresh device).
+        let framed = frame(&[7u8; 100]);
+        let mut torn = vec![0u8; framed.len()];
+        torn[..50].copy_from_slice(&framed[..50]);
+        assert!(unframe(&torn).is_err());
     }
 }

@@ -102,10 +102,28 @@ mod tests {
 
     #[test]
     fn op_cost_accumulates() {
-        let mut a = OpCost { ios: 1, bytes_read: 10, bytes_written: 20, io_time_ns: 5 };
-        let b = OpCost { ios: 2, bytes_read: 1, bytes_written: 2, io_time_ns: 3 };
+        let mut a = OpCost {
+            ios: 1,
+            bytes_read: 10,
+            bytes_written: 20,
+            io_time_ns: 5,
+        };
+        let b = OpCost {
+            ios: 2,
+            bytes_read: 1,
+            bytes_written: 2,
+            io_time_ns: 3,
+        };
         a.add(&b);
-        assert_eq!(a, OpCost { ios: 3, bytes_read: 11, bytes_written: 22, io_time_ns: 8 });
+        assert_eq!(
+            a,
+            OpCost {
+                ios: 3,
+                bytes_read: 11,
+                bytes_written: 22,
+                io_time_ns: 8
+            }
+        );
         assert!((a.io_time_ms() - 8e-6).abs() < 1e-15);
     }
 

@@ -130,7 +130,10 @@ pub fn replay(
     messages: &[Message],
     merge: &dyn MergeOperator,
 ) -> Option<Vec<u8>> {
-    debug_assert!(messages.windows(2).all(|w| w[0].seq <= w[1].seq), "messages out of order");
+    debug_assert!(
+        messages.windows(2).all(|w| w[0].seq <= w[1].seq),
+        "messages out of order"
+    );
     let mut cur: Option<Vec<u8>> = base.map(|b| b.to_vec());
     for m in messages {
         cur = match &m.op {
@@ -147,7 +150,11 @@ mod tests {
     use super::*;
 
     fn msg(seq: u64, op: Operation) -> Message {
-        Message { seq, key: b"k".to_vec(), op }
+        Message {
+            seq,
+            key: b"k".to_vec(),
+            op,
+        }
     }
 
     #[test]
@@ -197,8 +204,14 @@ mod tests {
 
     #[test]
     fn replay_put_after_delete_resurrects() {
-        let ms = vec![msg(1, Operation::Delete), msg(2, Operation::Put(b"new".to_vec()))];
-        assert_eq!(replay(Some(b"old"), &ms, &LastWriteWins), Some(b"new".to_vec()));
+        let ms = vec![
+            msg(1, Operation::Delete),
+            msg(2, Operation::Put(b"new".to_vec())),
+        ];
+        assert_eq!(
+            replay(Some(b"old"), &ms, &LastWriteWins),
+            Some(b"new".to_vec())
+        );
     }
 
     #[test]

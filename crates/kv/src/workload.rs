@@ -50,7 +50,12 @@ pub struct WorkloadConfig {
 impl WorkloadConfig {
     /// Uniform workload with the given key space and 100-byte values.
     pub fn uniform(n_keys: u64, seed: u64) -> Self {
-        WorkloadConfig { n_keys, value_bytes: 100, distribution: KeyDistribution::Uniform, seed }
+        WorkloadConfig {
+            n_keys,
+            value_bytes: 100,
+            distribution: KeyDistribution::Uniform,
+            seed,
+        }
     }
 }
 
@@ -69,7 +74,12 @@ impl WorkloadGen {
     pub fn new(cfg: WorkloadConfig) -> Self {
         assert!(cfg.n_keys > 0, "empty key space");
         let rng = StdRng::seed_from_u64(cfg.seed);
-        WorkloadGen { cfg, rng, sequential_next: 0, zipf: None }
+        WorkloadGen {
+            cfg,
+            rng,
+            sequential_next: 0,
+            zipf: None,
+        }
     }
 
     /// The configuration in use.
@@ -88,9 +98,7 @@ impl WorkloadGen {
             }
             KeyDistribution::Zipfian(theta) => {
                 let n = self.cfg.n_keys;
-                let z = self
-                    .zipf
-                    .get_or_insert_with(|| ZipfSampler::new(n, theta));
+                let z = self.zipf.get_or_insert_with(|| ZipfSampler::new(n, theta));
                 z.sample(&mut self.rng)
             }
         }
@@ -182,12 +190,22 @@ struct ZipfSampler {
 
 impl ZipfSampler {
     fn new(n: u64, theta: f64) -> Self {
-        assert!(theta > 0.0 && theta < 2.0 && (theta - 1.0).abs() > 1e-9, "theta near 1 unsupported");
+        assert!(
+            theta > 0.0 && theta < 2.0 && (theta - 1.0).abs() > 1e-9,
+            "theta near 1 unsupported"
+        );
         let zetan = Self::zeta(n, theta);
         let zeta2 = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        ZipfSampler { n, theta, alpha, zetan, eta, zeta2: Self::zeta(2, theta) }
+        ZipfSampler {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2: Self::zeta(2, theta),
+        }
     }
 
     fn zeta(n: u64, theta: f64) -> f64 {

@@ -26,4 +26,4 @@ pub mod sstable;
 pub mod tree;
 
 pub use sstable::{BlockMeta, SsTable};
-pub use tree::{LsmConfig, LsmTree};
+pub use tree::{LsmConfig, LsmTree, MANIFEST_BYTES};

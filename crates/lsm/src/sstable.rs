@@ -7,7 +7,7 @@
 //! [`dam_cache::Pager::read_within`].
 
 use dam_cache::{Pager, PagerError};
-use dam_kv::codec::{CodecError, Reader, Writer};
+use dam_kv::codec::{frame, unframe, CodecError, Reader, Writer};
 use dam_kv::KvError;
 use serde::{Deserialize, Serialize};
 
@@ -100,7 +100,10 @@ impl SsTable {
         stamp: u64,
     ) -> Result<SsTable, KvError> {
         assert!(!entries.is_empty(), "empty SSTable");
-        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "entries not ascending");
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "entries not ascending"
+        );
         let min_key = entries[0].0.clone();
         let max_key = entries.last().expect("nonempty").0.clone();
         let n = entries.len() as u64;
@@ -110,21 +113,23 @@ impl SsTable {
         let mut image = Vec::new();
         let mut cur: Vec<RunEntry> = Vec::new();
         let mut cur_bytes = 4usize;
-        let flush =
-            |cur: &mut Vec<RunEntry>, image: &mut Vec<u8>, blocks: &mut Vec<BlockMeta>| {
-                if cur.is_empty() {
-                    return;
-                }
-                let first_key = cur[0].0.clone();
-                let encoded = encode_block(cur);
-                blocks.push(BlockMeta {
-                    first_key,
-                    offset: image.len() as u32,
-                    len: encoded.len() as u32,
-                });
-                image.extend_from_slice(&encoded);
-                cur.clear();
-            };
+        let flush = |cur: &mut Vec<RunEntry>, image: &mut Vec<u8>, blocks: &mut Vec<BlockMeta>| {
+            if cur.is_empty() {
+                return;
+            }
+            let first_key = cur[0].0.clone();
+            // Each block carries its own checksummed frame so single-block
+            // point reads validate independently; the index records the
+            // framed extent.
+            let framed = frame(&encode_block(cur));
+            blocks.push(BlockMeta {
+                first_key,
+                offset: image.len() as u32,
+                len: framed.len() as u32,
+            });
+            image.extend_from_slice(&framed);
+            cur.clear();
+        };
         for (k, v) in entries {
             let sz = Self::entry_bytes(&k, &v);
             if !cur.is_empty() && cur_bytes + sz > block_bytes {
@@ -141,8 +146,21 @@ impl SsTable {
         // One sequential *durable* write for the whole table — the LSM's
         // write pattern (LevelDB fsyncs each SSTable), and the reason large
         // SSTables amortize the setup cost.
-        pager.write_through(base, image).map_err(map_pager)?;
-        Ok(SsTable { base, data_len, blocks, min_key, max_key, entries: n, stamp })
+        if let Err(e) = pager.write_through(base, image) {
+            // Don't leak the extent on a failed write; the caller may
+            // retry the whole build once the fault clears.
+            pager.free(base, data_len);
+            return Err(map_pager(e));
+        }
+        Ok(SsTable {
+            base,
+            data_len,
+            blocks,
+            min_key,
+            max_key,
+            entries: n,
+            stamp,
+        })
     }
 
     /// Free the table's extent (after compaction).
@@ -162,26 +180,30 @@ impl SsTable {
 
     fn block_index_for(&self, key: &[u8]) -> usize {
         // Last block whose first_key <= key.
-        self.blocks.partition_point(|b| b.first_key.as_slice() <= key).saturating_sub(1)
+        self.blocks
+            .partition_point(|b| b.first_key.as_slice() <= key)
+            .saturating_sub(1)
     }
 
     /// Read and decode block `i` (one sub-range IO / cache hit).
     pub fn read_block(&self, pager: &mut Pager, i: usize) -> Result<Vec<RunEntry>, KvError> {
         let b = &self.blocks[i];
         let buf = pager
-            .read_within(self.base, self.data_len as usize, b.offset as usize, b.len as usize)
+            .read_within(
+                self.base,
+                self.data_len as usize,
+                b.offset as usize,
+                b.len as usize,
+            )
             .map_err(map_pager)?;
-        decode_block(&buf).map_err(map_codec)
+        let payload = unframe(&buf).map_err(map_codec)?;
+        decode_block(payload).map_err(map_codec)
     }
 
     /// Point lookup. `Ok(None)` = key absent from this table;
     /// `Ok(Some(None))` = tombstone.
     #[allow(clippy::type_complexity)]
-    pub fn get(
-        &self,
-        pager: &mut Pager,
-        key: &[u8],
-    ) -> Result<Option<Option<Vec<u8>>>, KvError> {
+    pub fn get(&self, pager: &mut Pager, key: &[u8]) -> Result<Option<Option<Vec<u8>>>, KvError> {
         if !self.covers(key) {
             return Ok(None);
         }
@@ -246,7 +268,11 @@ mod tests {
     fn entries(n: u64) -> Vec<RunEntry> {
         (0..n)
             .map(|i| {
-                let v = if i % 7 == 3 { None } else { Some(vec![(i % 251) as u8; 20]) };
+                let v = if i % 7 == 3 {
+                    None
+                } else {
+                    Some(vec![(i % 251) as u8; 20])
+                };
                 (dam_kv::key_from_u64(i).to_vec(), v)
             })
             .collect()
@@ -257,7 +283,11 @@ mod tests {
         let mut p = pager();
         let t = SsTable::build(&mut p, 512, entries(500), 1).unwrap();
         assert_eq!(t.entries, 500);
-        assert!(t.blocks.len() > 10, "should span many blocks: {}", t.blocks.len());
+        assert!(
+            t.blocks.len() > 10,
+            "should span many blocks: {}",
+            t.blocks.len()
+        );
         for i in [0u64, 3, 250, 499] {
             let got = t.get(&mut p, &dam_kv::key_from_u64(i)).unwrap();
             if i % 7 == 3 {
@@ -299,7 +329,10 @@ mod tests {
         let out = t
             .scan(&mut p, &dam_kv::key_from_u64(50), &dam_kv::key_from_u64(60))
             .unwrap();
-        let keys: Vec<u64> = out.iter().map(|(k, _)| dam_kv::key_to_u64(k).unwrap()).collect();
+        let keys: Vec<u64> = out
+            .iter()
+            .map(|(k, _)| dam_kv::key_to_u64(k).unwrap())
+            .collect();
         assert_eq!(keys, (50..60).collect::<Vec<_>>());
     }
 
@@ -314,8 +347,9 @@ mod tests {
     #[test]
     fn covers_and_overlaps() {
         let mut p = pager();
-        let es: Vec<RunEntry> =
-            (100..200u64).map(|i| (dam_kv::key_from_u64(i).to_vec(), Some(vec![1]))).collect();
+        let es: Vec<RunEntry> = (100..200u64)
+            .map(|i| (dam_kv::key_from_u64(i).to_vec(), Some(vec![1])))
+            .collect();
         let t = SsTable::build(&mut p, 256, es, 1).unwrap();
         assert!(t.covers(&dam_kv::key_from_u64(150)));
         assert!(!t.covers(&dam_kv::key_from_u64(99)));
@@ -331,5 +365,22 @@ mod tests {
         let live = p.live_bytes();
         t.destroy(&mut p);
         assert!(p.live_bytes() < live);
+    }
+
+    #[test]
+    fn corrupted_block_surfaces_as_corrupt() {
+        use dam_storage::SimTime;
+        let mut p = pager();
+        let t = SsTable::build(&mut p, 512, entries(200), 1).unwrap();
+        p.drop_cache().unwrap();
+        // Flip one payload byte of block 1 behind the pager's back.
+        let off = t.base + t.blocks[1].offset as u64 + 12;
+        let dev = p.device().clone();
+        let mut byte = [0u8; 1];
+        dev.read(off, &mut byte, SimTime::ZERO).unwrap();
+        dev.write(off, &[byte[0] ^ 0xFF], SimTime::ZERO).unwrap();
+        assert!(matches!(t.read_block(&mut p, 1), Err(KvError::Corrupt(_))));
+        // Untouched blocks still read fine.
+        assert!(t.read_block(&mut p, 0).is_ok());
     }
 }

@@ -1,11 +1,19 @@
 //! The leveled LSM-tree: memtable → L0 runs → exponentially larger,
 //! non-overlapping levels, with size-triggered compaction.
 
-use crate::sstable::{RunEntry, SsTable};
+use crate::sstable::{BlockMeta, RunEntry, SsTable};
 use dam_cache::{Pager, PagerError};
+use dam_kv::codec::{frame, unframe, CodecError, Reader, Writer, FRAME_OVERHEAD};
 use dam_kv::{Dictionary, KvError, OpCost};
-use dam_storage::SharedDevice;
+use dam_storage::{SharedDevice, SimTime};
 use std::collections::BTreeMap;
+
+/// Bytes reserved at device offset 0 for the manifest (level layout, table
+/// metadata + block indexes, allocator state). Only the used prefix is
+/// ever written — the reservation is address space, not per-sync IO.
+pub const MANIFEST_BYTES: u64 = 1 << 20;
+const MANIFEST_MAGIC: u32 = 0x4441_4D4C; // "DAML"
+const MANIFEST_VERSION: u8 = 1;
 
 /// LSM configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +65,59 @@ pub struct LsmTree {
     last_cost: OpCost,
 }
 
+fn encode_tables(w: &mut Writer, tables: &[SsTable]) {
+    w.put_u32(tables.len() as u32);
+    for t in tables {
+        w.put_u64(t.base);
+        w.put_u64(t.data_len);
+        w.put_u64(t.entries);
+        w.put_u64(t.stamp);
+        w.put_bytes(&t.min_key);
+        w.put_bytes(&t.max_key);
+        w.put_u32(t.blocks.len() as u32);
+        for b in &t.blocks {
+            w.put_bytes(&b.first_key);
+            w.put_u32(b.offset);
+            w.put_u32(b.len);
+        }
+    }
+}
+
+fn decode_tables(r: &mut Reader<'_>) -> Result<Vec<SsTable>, CodecError> {
+    let n = r.get_u32()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let base = r.get_u64()?;
+        let data_len = r.get_u64()?;
+        let entries = r.get_u64()?;
+        let stamp = r.get_u64()?;
+        let min_key = r.get_bytes()?.to_vec();
+        let max_key = r.get_bytes()?.to_vec();
+        let nblocks = r.get_u32()? as usize;
+        let mut blocks = Vec::with_capacity(nblocks);
+        for _ in 0..nblocks {
+            let first_key = r.get_bytes()?.to_vec();
+            let offset = r.get_u32()?;
+            let len = r.get_u32()?;
+            blocks.push(BlockMeta {
+                first_key,
+                offset,
+                len,
+            });
+        }
+        out.push(SsTable {
+            base,
+            data_len,
+            blocks,
+            min_key,
+            max_key,
+            entries,
+            stamp,
+        });
+    }
+    Ok(out)
+}
+
 /// Merge runs where **earlier runs take precedence** (newer data first).
 /// Output is ascending by key; tombstones retained unless `drop_tombstones`.
 fn merge_runs(runs: Vec<Vec<RunEntry>>, drop_tombstones: bool) -> Vec<RunEntry> {
@@ -67,7 +128,9 @@ fn merge_runs(runs: Vec<Vec<RunEntry>>, drop_tombstones: bool) -> Vec<RunEntry> 
             map.insert(k, v);
         }
     }
-    map.into_iter().filter(|(_, v)| !(drop_tombstones && v.is_none())).collect()
+    map.into_iter()
+        .filter(|(_, v)| !(drop_tombstones && v.is_none()))
+        .collect()
 }
 
 impl LsmTree {
@@ -80,7 +143,7 @@ impl LsmTree {
             return Err(KvError::Config("bad ratio/l0 limit/memtable size".into()));
         }
         Ok(LsmTree {
-            pager: Pager::new(device, cfg.cache_bytes, 0),
+            pager: Pager::new(device, cfg.cache_bytes, MANIFEST_BYTES),
             cfg,
             mem: BTreeMap::new(),
             mem_bytes: 0,
@@ -89,6 +152,102 @@ impl LsmTree {
             next_stamp: 1,
             last_cost: OpCost::default(),
         })
+    }
+
+    /// Reopen a tree persisted with [`LsmTree::persist`] / `sync`.
+    ///
+    /// Reads the framed manifest at offset 0, validates its checksum and
+    /// rebuilds the level layout, block indexes and allocator state.  A
+    /// torn or corrupted manifest surfaces as [`KvError::Corrupt`].
+    pub fn open(device: SharedDevice, cfg: LsmConfig) -> Result<Self, KvError> {
+        // Read the manifest straight from the device: it can be far
+        // larger than the cache budget, and caching a one-shot read of
+        // the whole region would only evict useful pages.
+        let mut image = vec![0u8; MANIFEST_BYTES as usize];
+        device
+            .read(0, &mut image, SimTime::ZERO)
+            .map_err(|e| KvError::Storage(e.to_string()))?;
+        let mut pager = Pager::new(device, cfg.cache_bytes, MANIFEST_BYTES);
+        let corrupt = |m: &str| KvError::Corrupt(format!("lsm manifest: {m}"));
+        let dec = |e: CodecError| KvError::Corrupt(format!("lsm manifest: {e}"));
+        let payload = unframe(&image).map_err(dec)?;
+        let mut r = Reader::new(payload);
+        if r.get_u32().map_err(dec)? != MANIFEST_MAGIC {
+            return Err(corrupt("bad magic (no tree persisted on this device?)"));
+        }
+        if r.get_u8().map_err(dec)? != MANIFEST_VERSION {
+            return Err(corrupt("unsupported version"));
+        }
+        let next_stamp = r.get_u64().map_err(dec)?;
+        let l0 = decode_tables(&mut r).map_err(dec)?;
+        let nlevels = r.get_u32().map_err(dec)? as usize;
+        let mut levels = Vec::with_capacity(nlevels);
+        for _ in 0..nlevels {
+            levels.push(decode_tables(&mut r).map_err(dec)?);
+        }
+        let high_water = r.get_u64().map_err(dec)?;
+        let nfree = r.get_u32().map_err(dec)? as usize;
+        let mut free = Vec::with_capacity(nfree);
+        for _ in 0..nfree {
+            let len = r.get_u64().map_err(dec)?;
+            let k = r.get_u32().map_err(dec)? as usize;
+            let mut offs = Vec::with_capacity(k);
+            for _ in 0..k {
+                offs.push(r.get_u64().map_err(dec)?);
+            }
+            free.push((len, offs));
+        }
+        pager.restore_alloc(high_water, free, MANIFEST_BYTES);
+        Ok(LsmTree {
+            pager,
+            cfg,
+            mem: BTreeMap::new(),
+            mem_bytes: 0,
+            l0,
+            levels,
+            next_stamp,
+            last_cost: OpCost::default(),
+        })
+    }
+
+    /// Flush the memtable and dirty pages, then durably write the manifest.
+    ///
+    /// After `persist` returns, [`LsmTree::open`] on the same device
+    /// reconstructs the tree.
+    pub fn persist(&mut self) -> Result<(), KvError> {
+        self.flush_memtable()?;
+        self.pager.flush().map_err(map_pager)?;
+        let mut w = Writer::with_capacity(4096);
+        w.put_u32(MANIFEST_MAGIC);
+        w.put_u8(MANIFEST_VERSION);
+        w.put_u64(self.next_stamp);
+        encode_tables(&mut w, &self.l0);
+        w.put_u32(self.levels.len() as u32);
+        for level in &self.levels {
+            encode_tables(&mut w, level);
+        }
+        let (high_water, free) = self.pager.export_alloc();
+        w.put_u64(high_water);
+        w.put_u32(free.len() as u32);
+        for (len, offs) in &free {
+            w.put_u64(*len);
+            w.put_u32(offs.len() as u32);
+            for &o in offs {
+                w.put_u64(o);
+            }
+        }
+        let payload = w.into_bytes();
+        if (payload.len() + FRAME_OVERHEAD) as u64 > MANIFEST_BYTES {
+            return Err(KvError::Config(format!(
+                "manifest of {} bytes exceeds the reserved {} (too many tables)",
+                payload.len(),
+                MANIFEST_BYTES
+            )));
+        }
+        // Write only the used prefix: `unframe` on open reads the stored
+        // length, and the device zero-fills the rest of the region.
+        let image = frame(&payload);
+        self.pager.write_through(0, image).map_err(map_pager)
     }
 
     /// The configuration in use.
@@ -137,7 +296,9 @@ impl LsmTree {
             )));
         }
         if let Some(old) = self.mem.insert(key.to_vec(), value) {
-            self.mem_bytes = self.mem_bytes.saturating_sub(SsTable::entry_bytes(key, &old));
+            self.mem_bytes = self
+                .mem_bytes
+                .saturating_sub(SsTable::entry_bytes(key, &old));
         }
         self.mem_bytes += add;
         if self.mem_bytes >= self.cfg.memtable_bytes {
@@ -147,15 +308,26 @@ impl LsmTree {
     }
 
     /// Write the memtable out as a new L0 run, compacting as needed.
+    ///
+    /// Failure-atomic: the memtable is cleared only once its SSTable is
+    /// durably written, so a device fault mid-flush loses nothing — the
+    /// caller can retry once the fault clears.
     pub fn flush_memtable(&mut self) -> Result<(), KvError> {
-        if self.mem.is_empty() {
-            return Ok(());
+        if !self.mem.is_empty() {
+            let entries: Vec<RunEntry> = self
+                .mem
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            let stamp = self.stamp();
+            let table = SsTable::build(&mut self.pager, self.cfg.block_bytes, entries, stamp)?;
+            self.mem.clear();
+            self.mem_bytes = 0;
+            self.l0.push(table);
         }
-        let entries: Vec<RunEntry> = std::mem::take(&mut self.mem).into_iter().collect();
-        self.mem_bytes = 0;
-        let stamp = self.stamp();
-        let table = SsTable::build(&mut self.pager, self.cfg.block_bytes, entries, stamp)?;
-        self.l0.push(table);
+        // Checked outside the memtable branch so a compaction that failed
+        // on a previous (errored) flush is retried even when the memtable
+        // is already empty.
         if self.l0.len() > self.cfg.l0_limit {
             self.compact_l0()?;
         }
@@ -172,7 +344,9 @@ impl LsmTree {
     }
 
     fn level_bytes(&self, idx: usize) -> u64 {
-        self.levels.get(idx).map_or(0, |l| l.iter().map(|t| t.data_len).sum())
+        self.levels
+            .get(idx)
+            .map_or(0, |l| l.iter().map(|t| t.data_len).sum())
     }
 
     /// True when no data lives below `levels[idx]` — tombstones can drop.
@@ -181,20 +355,27 @@ impl LsmTree {
     }
 
     /// Split merged entries into SSTables of at most `sstable_bytes`.
+    /// On error, tables already built for this batch are destroyed so a
+    /// failed compaction leaks no extents.
     fn build_tables(&mut self, merged: Vec<RunEntry>) -> Result<Vec<SsTable>, KvError> {
-        let mut out = Vec::new();
+        let mut out: Vec<SsTable> = Vec::new();
+        let unwind = |out: &mut Vec<SsTable>, pager: &mut Pager, e: KvError| {
+            for t in out.drain(..) {
+                t.destroy(pager);
+            }
+            e
+        };
         let mut cur: Vec<RunEntry> = Vec::new();
         let mut bytes = 0usize;
         for (k, v) in merged {
             let sz = SsTable::entry_bytes(&k, &v);
             if !cur.is_empty() && bytes + sz > self.cfg.sstable_bytes {
                 let stamp = self.stamp();
-                out.push(SsTable::build(
-                    &mut self.pager,
-                    self.cfg.block_bytes,
-                    std::mem::take(&mut cur),
-                    stamp,
-                )?);
+                let batch = std::mem::take(&mut cur);
+                match SsTable::build(&mut self.pager, self.cfg.block_bytes, batch, stamp) {
+                    Ok(t) => out.push(t),
+                    Err(e) => return Err(unwind(&mut out, &mut self.pager, e)),
+                }
                 bytes = 0;
             }
             bytes += sz;
@@ -202,12 +383,19 @@ impl LsmTree {
         }
         if !cur.is_empty() {
             let stamp = self.stamp();
-            out.push(SsTable::build(&mut self.pager, self.cfg.block_bytes, cur, stamp)?);
+            match SsTable::build(&mut self.pager, self.cfg.block_bytes, cur, stamp) {
+                Ok(t) => out.push(t),
+                Err(e) => return Err(unwind(&mut out, &mut self.pager, e)),
+            }
         }
         Ok(out)
     }
 
     /// Merge every L0 run plus the overlapping part of L1 into L1.
+    ///
+    /// Failure-atomic: old tables are destroyed and the level rewired only
+    /// after every replacement table is durably written; on error the
+    /// level is restored untouched.
     fn compact_l0(&mut self) -> Result<(), KvError> {
         if self.l0.is_empty() {
             return Ok(());
@@ -215,28 +403,52 @@ impl LsmTree {
         if self.levels.is_empty() {
             self.levels.push(Vec::new());
         }
-        let lo = self.l0.iter().map(|t| t.min_key.clone()).min().expect("nonempty");
-        let hi = self.l0.iter().map(|t| t.max_key.clone()).max().expect("nonempty");
+        let lo = self
+            .l0
+            .iter()
+            .map(|t| t.min_key.clone())
+            .min()
+            .expect("nonempty");
+        let hi = self
+            .l0
+            .iter()
+            .map(|t| t.max_key.clone())
+            .max()
+            .expect("nonempty");
         // Partition L1 into overlapping and untouched.
         let l1 = std::mem::take(&mut self.levels[0]);
         let (overlapping, untouched): (Vec<_>, Vec<_>) =
             l1.into_iter().partition(|t| t.overlaps(&lo, &hi));
 
-        // Precedence: newest L0 first, then older L0, then L1 (concatenated
-        // — non-overlapping, so order within the run is by key already).
-        let mut runs: Vec<Vec<RunEntry>> = Vec::new();
-        for t in self.l0.iter().rev() {
-            runs.push(t.scan_all(&mut self.pager)?);
-        }
-        let mut l1_run = Vec::new();
-        for t in &overlapping {
-            l1_run.extend(t.scan_all(&mut self.pager)?);
-        }
-        runs.push(l1_run);
+        let built = (|| {
+            // Precedence: newest L0 first, then older L0, then L1
+            // (concatenated — non-overlapping, so order within the run is
+            // by key already).
+            let mut runs: Vec<Vec<RunEntry>> = Vec::new();
+            for t in self.l0.iter().rev() {
+                runs.push(t.scan_all(&mut self.pager)?);
+            }
+            let mut l1_run = Vec::new();
+            for t in &overlapping {
+                l1_run.extend(t.scan_all(&mut self.pager)?);
+            }
+            runs.push(l1_run);
 
-        let drop_tombs = self.is_bottom(0);
-        let merged = merge_runs(runs, drop_tombs);
-        let new_tables = self.build_tables(merged)?;
+            let drop_tombs = self.is_bottom(0);
+            let merged = merge_runs(runs, drop_tombs);
+            self.build_tables(merged)
+        })();
+        let new_tables = match built {
+            Ok(t) => t,
+            Err(e) => {
+                // Nothing was destroyed; put L1 back together.
+                let mut level = untouched;
+                level.extend(overlapping);
+                level.sort_by(|a, b| a.min_key.cmp(&b.min_key));
+                self.levels[0] = level;
+                return Err(e);
+            }
+        };
 
         for t in self.l0.drain(..).collect::<Vec<_>>() {
             t.destroy(&mut self.pager);
@@ -265,15 +477,30 @@ impl LsmTree {
             let (overlapping, untouched): (Vec<_>, Vec<_>) = next
                 .into_iter()
                 .partition(|t| t.overlaps(&victim.min_key, &victim.max_key));
-            let mut runs: Vec<Vec<RunEntry>> = vec![victim.scan_all(&mut self.pager)?];
-            let mut low_run = Vec::new();
-            for t in &overlapping {
-                low_run.extend(t.scan_all(&mut self.pager)?);
-            }
-            runs.push(low_run);
-            let drop_tombs = self.is_bottom(idx + 1);
-            let merged = merge_runs(runs, drop_tombs);
-            let new_tables = self.build_tables(merged)?;
+            let built = (|| {
+                let mut runs: Vec<Vec<RunEntry>> = vec![victim.scan_all(&mut self.pager)?];
+                let mut low_run = Vec::new();
+                for t in &overlapping {
+                    low_run.extend(t.scan_all(&mut self.pager)?);
+                }
+                runs.push(low_run);
+                let drop_tombs = self.is_bottom(idx + 1);
+                let merged = merge_runs(runs, drop_tombs);
+                self.build_tables(merged)
+            })();
+            let new_tables = match built {
+                Ok(t) => t,
+                Err(e) => {
+                    // Failure-atomic: nothing was destroyed — reinstate
+                    // the victim and the lower level as they were.
+                    self.levels[idx].insert(0, victim);
+                    let mut level = untouched;
+                    level.extend(overlapping);
+                    level.sort_by(|a, b| a.min_key.cmp(&b.min_key));
+                    self.levels[idx + 1] = level;
+                    return Err(e);
+                }
+            };
             victim.destroy(&mut self.pager);
             for t in overlapping {
                 t.destroy(&mut self.pager);
@@ -319,11 +546,7 @@ impl LsmTree {
         Ok(None)
     }
 
-    fn range_inner(
-        &mut self,
-        start: &[u8],
-        end: &[u8],
-    ) -> Result<Vec<dam_kv::KvPair>, KvError> {
+    fn range_inner(&mut self, start: &[u8], end: &[u8]) -> Result<Vec<dam_kv::KvPair>, KvError> {
         let mut runs: Vec<Vec<RunEntry>> = Vec::new();
         // Memtable: highest precedence.
         runs.push(
@@ -420,7 +643,11 @@ impl Dictionary for LsmTree {
 
     fn range(&mut self, start: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>, KvError> {
         let snap = self.pager.snapshot();
-        let r = if start < end { self.range_inner(start, end) } else { Ok(Vec::new()) };
+        let r = if start < end {
+            self.range_inner(start, end)
+        } else {
+            Ok(Vec::new())
+        };
         self.finish_op(&snap);
         r
     }
@@ -430,9 +657,11 @@ impl Dictionary for LsmTree {
     }
 
     fn sync(&mut self) -> Result<(), KvError> {
+        // Durability contract: after sync returns, `open` on the same
+        // device reconstructs everything inserted so far — so sync writes
+        // the manifest, not just the dirty pages.
         let snap = self.pager.snapshot();
-        self.flush_memtable()?;
-        self.pager.flush().map_err(map_pager)?;
+        self.persist()?;
         self.finish_op(&snap);
         Ok(())
     }
@@ -461,7 +690,10 @@ mod tests {
     }
 
     fn kv(i: u64) -> (Vec<u8>, Vec<u8>) {
-        (key_from_u64(i).to_vec(), format!("value-{i:08}").into_bytes())
+        (
+            key_from_u64(i).to_vec(),
+            format!("value-{i:08}").into_bytes(),
+        )
     }
 
     #[test]
@@ -549,7 +781,10 @@ mod tests {
             t.delete(&k).unwrap();
         }
         let out = t.range(&key_from_u64(95), &key_from_u64(120)).unwrap();
-        let keys: Vec<u64> = out.iter().map(|(k, _)| dam_kv::key_to_u64(k).unwrap()).collect();
+        let keys: Vec<u64> = out
+            .iter()
+            .map(|(k, _)| dam_kv::key_to_u64(k).unwrap())
+            .collect();
         let expect: Vec<u64> = (95..110).chain(115..120).collect();
         assert_eq!(keys, expect);
         for (k, v) in &out {
@@ -610,9 +845,62 @@ mod tests {
     }
 
     #[test]
+    fn persist_open_roundtrip() {
+        let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 28, SimDuration(1000))));
+        let mut cfg = LsmConfig::new(2048, 1 << 20);
+        cfg.memtable_bytes = 1024;
+        cfg.block_bytes = 512;
+        cfg.level_ratio = 4;
+        cfg.l0_limit = 2;
+        let mut t = LsmTree::create(dev.clone(), cfg).unwrap();
+        for i in 0..2000 {
+            let (k, v) = kv(i);
+            t.insert(&k, &v).unwrap();
+        }
+        for i in (0..2000).step_by(3) {
+            let (k, _) = kv(i);
+            t.delete(&k).unwrap();
+        }
+        t.sync().unwrap();
+        let counts = t.level_table_counts();
+        let expect_len = t.len().unwrap();
+        drop(t);
+
+        let mut r = LsmTree::open(dev, cfg).unwrap();
+        assert_eq!(r.level_table_counts(), counts);
+        assert_eq!(r.len().unwrap(), expect_len);
+        for i in (0..2000).step_by(41) {
+            let (k, v) = kv(i);
+            let expect = if i % 3 == 0 { None } else { Some(v) };
+            assert_eq!(r.get(&k).unwrap(), expect, "key {i}");
+        }
+        r.check_invariants().unwrap();
+        // The allocator was restored: new inserts + sync must not clobber
+        // live tables.
+        for i in 2000..2500 {
+            let (k, v) = kv(i);
+            r.insert(&k, &v).unwrap();
+        }
+        r.sync().unwrap();
+        r.drop_cache().unwrap();
+        assert_eq!(r.len().unwrap(), expect_len + 500);
+        r.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn open_blank_device_errors() {
+        let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 22, SimDuration(1000))));
+        let cfg = LsmConfig::new(4096, 1 << 20);
+        assert!(matches!(LsmTree::open(dev, cfg), Err(KvError::Corrupt(_))));
+    }
+
+    #[test]
     fn oversized_entry_rejected() {
         let mut t = tree(4096);
-        assert!(matches!(t.insert(b"k", &vec![0u8; 4096]), Err(KvError::Config(_))));
+        assert!(matches!(
+            t.insert(b"k", &vec![0u8; 4096]),
+            Err(KvError::Config(_))
+        ));
     }
 
     #[test]

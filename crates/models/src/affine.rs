@@ -18,7 +18,10 @@ pub struct Affine {
 impl Affine {
     /// Build from a per-byte `α`.
     pub fn new(alpha: f64) -> Self {
-        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive and finite");
+        assert!(
+            alpha > 0.0 && alpha.is_finite(),
+            "alpha must be positive and finite"
+        );
         Affine { alpha }
     }
 
@@ -26,7 +29,9 @@ impl Affine {
     /// time `t` (seconds per byte); `α = t/s` (§2.3).
     pub fn from_hardware(setup_seconds: f64, seconds_per_byte: f64) -> Self {
         assert!(setup_seconds > 0.0 && seconds_per_byte > 0.0);
-        Affine { alpha: seconds_per_byte / setup_seconds }
+        Affine {
+            alpha: seconds_per_byte / setup_seconds,
+        }
     }
 
     /// Cost of one IO of `bytes` bytes, in setup-cost units.
@@ -87,7 +92,10 @@ mod tests {
         let m = Affine::from_hardware(0.016, t_per_byte);
         // Table 2 reports alpha = 0.0017 per 4 KiB block.
         let alpha_per_4k = m.alpha * 4096.0;
-        assert!((alpha_per_4k - 0.0017).abs() < 2e-4, "alpha per 4k = {alpha_per_4k}");
+        assert!(
+            (alpha_per_4k - 0.0017).abs() < 2e-4,
+            "alpha per 4k = {alpha_per_4k}"
+        );
     }
 
     #[test]
@@ -116,7 +124,10 @@ mod tests {
         let m = Affine::new(1e-6);
         let small = m.scan_cost(1e9, 4096.0);
         let large = m.scan_cost(1e9, 1.0 / m.alpha);
-        assert!(small > large, "small-IO scan should cost more: {small} vs {large}");
+        assert!(
+            small > large,
+            "small-IO scan should cost more: {small} vs {large}"
+        );
         // With huge IOs the cost approaches alpha * total (pure bandwidth).
         let huge = m.scan_cost(1e9, 1e9);
         assert!((huge - (1.0 + 1e-6 * 1e9)).abs() < 1.0);

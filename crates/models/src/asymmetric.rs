@@ -27,7 +27,10 @@ impl AsymmetricAffine {
     /// Build from a read-side `α` and a write multiplier.
     pub fn new(alpha: f64, omega: f64) -> Self {
         assert!(omega >= 1.0 && omega.is_finite(), "omega must be >= 1");
-        AsymmetricAffine { affine: Affine::new(alpha), omega }
+        AsymmetricAffine {
+            affine: Affine::new(alpha),
+            omega,
+        }
     }
 
     /// Cost of one read IO of `bytes`.
@@ -87,12 +90,7 @@ impl AsymmetricAffine {
     /// at a fixed node size: larger `ω` or `write_frac` pushes `ε` down
     /// (more write-optimization); read-heavy workloads push it toward 1
     /// (B-tree-like).
-    pub fn optimal_epsilon(
-        &self,
-        shape: &DictShape,
-        node_bytes: f64,
-        write_frac: f64,
-    ) -> f64 {
+    pub fn optimal_epsilon(&self, shape: &DictShape, node_bytes: f64, write_frac: f64) -> f64 {
         let (eps, _) = golden_section_min(0.05, 1.0, |e| {
             let cfg = BetreeConfig::with_epsilon(shape, node_bytes, e);
             write_frac * self.betree_insert_cost(shape, &cfg)
@@ -133,7 +131,10 @@ mod tests {
     use super::*;
 
     fn setup() -> (AsymmetricAffine, DictShape) {
-        (AsymmetricAffine::new(7.1e-7, 4.0), DictShape::new(2e9, 1e4, 116.0, 24.0))
+        (
+            AsymmetricAffine::new(7.1e-7, 4.0),
+            DictShape::new(2e9, 1e4, 116.0, 24.0),
+        )
     }
 
     #[test]
@@ -152,7 +153,10 @@ mod tests {
     fn queries_unaffected_by_omega() {
         let (m, s) = setup();
         let sym = AsymmetricAffine::new(m.affine.alpha, 1.0);
-        assert_eq!(m.btree_query_cost(&s, 65536.0), sym.btree_query_cost(&s, 65536.0));
+        assert_eq!(
+            m.btree_query_cost(&s, 65536.0),
+            sym.btree_query_cost(&s, 65536.0)
+        );
     }
 
     #[test]
@@ -172,7 +176,12 @@ mod tests {
             let m = AsymmetricAffine::new(7.1e-7, omega);
             m.btree_mixed_cost(&s, node as f64, 0.5) / m.betree_mixed_cost(&s, node as f64, 0.5)
         };
-        assert!(advantage(8.0) > advantage(1.0), "{} vs {}", advantage(8.0), advantage(1.0));
+        assert!(
+            advantage(8.0) > advantage(1.0),
+            "{} vs {}",
+            advantage(8.0),
+            advantage(1.0)
+        );
     }
 
     #[test]

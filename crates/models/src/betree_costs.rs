@@ -32,13 +32,19 @@ impl BetreeConfig {
     /// The `ε = 1/2` configuration for a given node size: `F = √B_entries`.
     pub fn sqrt_fanout(shape: &DictShape, node_bytes: f64) -> Self {
         let b_entries = shape.entries_per_node(node_bytes);
-        BetreeConfig { node_bytes, fanout: b_entries.sqrt().max(2.0) }
+        BetreeConfig {
+            node_bytes,
+            fanout: b_entries.sqrt().max(2.0),
+        }
     }
 
     /// General `ε` configuration: `F = B_entries^ε`.
     pub fn with_epsilon(shape: &DictShape, node_bytes: f64, epsilon: f64) -> Self {
         let b_entries = shape.entries_per_node(node_bytes);
-        BetreeConfig { node_bytes, fanout: b_entries.powf(epsilon).max(2.0) }
+        BetreeConfig {
+            node_bytes,
+            fanout: b_entries.powf(epsilon).max(2.0),
+        }
     }
 }
 
@@ -68,7 +74,12 @@ pub fn query_cost_optimized(affine: &Affine, shape: &DictShape, cfg: &BetreeConf
 
 /// Range query returning `l_items` (leaf scan only): `ceil(l·entry/B)` IOs
 /// of `B` bytes.
-pub fn range_scan_cost(affine: &Affine, shape: &DictShape, cfg: &BetreeConfig, l_items: f64) -> f64 {
+pub fn range_scan_cost(
+    affine: &Affine,
+    shape: &DictShape,
+    cfg: &BetreeConfig,
+    l_items: f64,
+) -> f64 {
     let per_leaf = shape.entries_per_node(cfg.node_bytes);
     let leaves = (l_items / per_leaf).ceil().max(1.0);
     leaves * affine.io_cost(cfg.node_bytes)
@@ -93,7 +104,14 @@ pub fn per_node_read_cost(affine: &Affine, shape: &DictShape, cfg: &BetreeConfig
 /// fanout — used by the tuner.
 pub fn optimal_node_bytes_for_query(affine: &Affine, shape: &DictShape, fanout: f64) -> f64 {
     let (x, _) = golden_section_min(2.0 * shape.entry_bytes, 1e3 / affine.alpha, |b| {
-        query_cost_optimized(affine, shape, &BetreeConfig { node_bytes: b, fanout })
+        query_cost_optimized(
+            affine,
+            shape,
+            &BetreeConfig {
+                node_bytes: b,
+                fanout,
+            },
+        )
     });
     x
 }
@@ -179,7 +197,10 @@ mod tests {
             1.0 / a.alpha
         );
         let btree_opt = crate::btree_costs::point_op_optimal_node_bytes(&a, &s);
-        assert!(opt > 2.0 * btree_opt, "betree insert opt {opt} vs btree opt {btree_opt}");
+        assert!(
+            opt > 2.0 * btree_opt,
+            "betree insert opt {opt} vs btree opt {btree_opt}"
+        );
     }
 
     #[test]
@@ -204,7 +225,10 @@ mod tests {
         // Pick F = 1/(alpha_e * ln(1/alpha_e)) and B = F^2 entries (Cor 12).
         let ae = a.alpha * s.entry_bytes;
         let (f, b_entries) = crate::optimal::optimal_betree_params(ae);
-        let cfg = BetreeConfig { node_bytes: b_entries * s.entry_bytes, fanout: f };
+        let cfg = BetreeConfig {
+            node_bytes: b_entries * s.entry_bytes,
+            fanout: f,
+        };
         let cost = per_node_read_cost(&a, &s, &cfg);
         assert!(cost < 1.5, "per-node read cost should be 1 + o(1): {cost}");
     }
@@ -216,14 +240,23 @@ mod tests {
         let (a, s) = setup();
         let ae = a.alpha * s.entry_bytes;
         let (f, b_entries) = crate::optimal::optimal_betree_params(ae);
-        let cfg = BetreeConfig { node_bytes: b_entries * s.entry_bytes, fanout: f };
+        let cfg = BetreeConfig {
+            node_bytes: b_entries * s.entry_bytes,
+            fanout: f,
+        };
         let btree_b = crate::btree_costs::point_op_optimal_node_bytes(&a, &s);
         let btree_q = crate::btree_costs::point_op_cost(&a, &s, btree_b);
         let betree_q = query_cost_optimized(&a, &s, &cfg);
-        assert!(betree_q < 1.6 * btree_q, "betree query {betree_q} vs btree {btree_q}");
+        assert!(
+            betree_q < 1.6 * btree_q,
+            "betree query {betree_q} vs btree {btree_q}"
+        );
         let btree_i = crate::btree_costs::point_op_cost(&a, &s, btree_b);
         let betree_i = insert_cost(&a, &s, &cfg);
-        assert!(betree_i < btree_i / 2.0, "betree insert {betree_i} vs btree {btree_i}");
+        assert!(
+            betree_i < btree_i / 2.0,
+            "betree insert {betree_i} vs btree {btree_i}"
+        );
     }
 
     #[test]

@@ -117,7 +117,10 @@ mod tests {
         let analytic = point_op_optimal_node_bytes(&a, &s);
         let numeric = point_op_optimal_node_bytes_numeric(&a, &s);
         let ratio = analytic / numeric;
-        assert!((0.5..2.0).contains(&ratio), "analytic {analytic} vs numeric {numeric}");
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "analytic {analytic} vs numeric {numeric}"
+        );
     }
 
     #[test]

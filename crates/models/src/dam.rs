@@ -95,7 +95,10 @@ mod tests {
         let s = shape();
         let small = Dam::new(4096.0).btree_op_ios(&s);
         let large = Dam::new(65536.0).btree_op_ios(&s);
-        assert!(large < small, "bigger DAM nodes mean fewer levels: {large} vs {small}");
+        assert!(
+            large < small,
+            "bigger DAM nodes mean fewer levels: {large} vs {small}"
+        );
     }
 
     #[test]

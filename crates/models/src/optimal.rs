@@ -53,7 +53,10 @@ pub fn btree_point_objective(alpha_entry: f64, x_entries: f64) -> f64 {
 /// Corollary 7: node size (in entries) minimizing B-tree point-op cost, i.e.
 /// the argmin of [`btree_point_objective`]. `Θ(1/(α ln(1/α)))`.
 pub fn optimal_btree_entries(alpha_entry: f64) -> f64 {
-    assert!(alpha_entry > 0.0 && alpha_entry < 1.0, "need 0 < alpha < 1, got {alpha_entry}");
+    assert!(
+        alpha_entry > 0.0 && alpha_entry < 1.0,
+        "need 0 < alpha < 1, got {alpha_entry}"
+    );
     // The minimum lies well inside [2, 10/alpha]: below the half-bandwidth
     // point (Cor 7) but within a log factor of it.
     let (x, _) = golden_section_min(2.0, 10.0 / alpha_entry, |x| {
@@ -180,7 +183,10 @@ mod tests {
         // Corollary 12: the Bε node can be nearly the square of the B-tree's
         // optimal node size.
         let btree_opt = optimal_btree_entries(1e-4);
-        assert!(b > 10.0 * btree_opt, "betree node {b} vs btree node {btree_opt}");
+        assert!(
+            b > 10.0 * btree_opt,
+            "betree node {b} vs btree node {btree_opt}"
+        );
     }
 
     #[test]

@@ -53,7 +53,12 @@ impl Pdam {
     ///
     /// With nodes of `c·B` bytes (`c ≤ P`), each level costs
     /// `ceil(c / P)` = 1 step, and the height is `log_{node entries}(N)`.
-    pub fn single_client_query_steps(&self, node_bytes: f64, n_items: f64, entry_bytes: f64) -> f64 {
+    pub fn single_client_query_steps(
+        &self,
+        node_bytes: f64,
+        n_items: f64,
+        entry_bytes: f64,
+    ) -> f64 {
         let blocks = (node_bytes / self.block_bytes).ceil().max(1.0);
         let steps_per_level = (blocks / self.p).ceil().max(1.0);
         let fanout = (node_bytes / entry_bytes).max(2.0);
@@ -122,13 +127,19 @@ mod tests {
         let t1 = m.veb_tree_throughput(1.0, 1e9, 100.0);
         let t4 = m.veb_tree_throughput(4.0, 1e9, 100.0);
         let t16 = m.veb_tree_throughput(16.0, 1e9, 100.0);
-        assert!(t1 < t4 && t4 < t16, "throughput should rise with k: {t1} {t4} {t16}");
+        assert!(
+            t1 < t4 && t4 < t16,
+            "throughput should rise with k: {t1} {t4} {t16}"
+        );
     }
 
     #[test]
     fn veb_k_clamped_to_p() {
         let m = Pdam::new(8.0, 4096.0);
-        assert_eq!(m.veb_tree_throughput(64.0, 1e9, 100.0), m.veb_tree_throughput(8.0, 1e9, 100.0));
+        assert_eq!(
+            m.veb_tree_throughput(64.0, 1e9, 100.0),
+            m.veb_tree_throughput(8.0, 1e9, 100.0)
+        );
     }
 
     #[test]
@@ -159,7 +170,10 @@ mod tests {
         let m = Pdam::new(16.0, 4096.0);
         let small = m.single_client_query_steps(4096.0, 1e9, 100.0);
         let big = m.single_client_query_steps(16.0 * 4096.0, 1e9, 100.0);
-        assert!(big < small, "PB nodes should win for one client: {big} vs {small}");
+        assert!(
+            big < small,
+            "PB nodes should win for one client: {big} vs {small}"
+        );
     }
 
     #[test]

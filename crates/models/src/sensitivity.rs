@@ -233,7 +233,10 @@ mod tests {
         let first = pts.first().unwrap();
         let last = pts.last().unwrap();
         assert!(first.insert < last.insert, "low eps should insert cheaper");
-        assert!(first.query > last.query * 0.9, "high eps should query no worse");
+        assert!(
+            first.query > last.query * 0.9,
+            "high eps should query no worse"
+        );
         // Fanout is monotone in eps.
         assert!(pts.windows(2).all(|w| w[1].fanout >= w[0].fanout));
     }

@@ -64,10 +64,16 @@ impl std::error::Error for StatsError {}
 
 pub(crate) fn check_xy(xs: &[f64], ys: &[f64], need: usize) -> Result<(), StatsError> {
     if xs.len() != ys.len() {
-        return Err(StatsError::LengthMismatch { xs: xs.len(), ys: ys.len() });
+        return Err(StatsError::LengthMismatch {
+            xs: xs.len(),
+            ys: ys.len(),
+        });
     }
     if xs.len() < need {
-        return Err(StatsError::TooFewPoints { got: xs.len(), need });
+        return Err(StatsError::TooFewPoints {
+            got: xs.len(),
+            need,
+        });
     }
     if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
         return Err(StatsError::NonFinite);

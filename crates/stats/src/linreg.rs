@@ -87,13 +87,28 @@ pub fn fit_line(xs: &[f64], ys: &[f64]) -> Result<LinearFit, StatsError> {
     // Standard OLS parameter errors: s² = SSE/(n−2),
     // se(b) = √(s²/Sxx), se(a) = √(s²·(1/n + x̄²/Sxx)).
     let (slope_se, intercept_se) = if xs.len() > 2 {
-        let sse: f64 = ys.iter().zip(&predictions).map(|(y, p)| (y - p) * (y - p)).sum();
+        let sse: f64 = ys
+            .iter()
+            .zip(&predictions)
+            .map(|(y, p)| (y - p) * (y - p))
+            .sum();
         let s2 = sse / (xs.len() as f64 - 2.0);
-        ((s2 / sxx).sqrt(), (s2 * (1.0 / n + mean_x * mean_x / sxx)).sqrt())
+        (
+            (s2 / sxx).sqrt(),
+            (s2 * (1.0 / n + mean_x * mean_x / sxx)).sqrt(),
+        )
     } else {
         (0.0, 0.0)
     };
-    Ok(LinearFit { intercept, slope, r2, rms, n: xs.len(), slope_se, intercept_se })
+    Ok(LinearFit {
+        intercept,
+        slope,
+        r2,
+        rms,
+        n: xs.len(),
+        slope_se,
+        intercept_se,
+    })
 }
 
 /// Fit a line through the origin: `y = b·x` (no intercept).
@@ -112,12 +127,24 @@ pub fn fit_line_through_origin(xs: &[f64], ys: &[f64]) -> Result<LinearFit, Stat
     let r2 = r_squared(ys, &predictions)?;
     let rms = rms_error(ys, &predictions)?;
     let slope_se = if xs.len() > 1 {
-        let sse: f64 = ys.iter().zip(&predictions).map(|(y, p)| (y - p) * (y - p)).sum();
+        let sse: f64 = ys
+            .iter()
+            .zip(&predictions)
+            .map(|(y, p)| (y - p) * (y - p))
+            .sum();
         (sse / (xs.len() as f64 - 1.0) / sxx).sqrt()
     } else {
         0.0
     };
-    Ok(LinearFit { intercept: 0.0, slope, r2, rms, n: xs.len(), slope_se, intercept_se: 0.0 })
+    Ok(LinearFit {
+        intercept: 0.0,
+        slope,
+        r2,
+        rms,
+        n: xs.len(),
+        slope_se,
+        intercept_se: 0.0,
+    })
 }
 
 /// Coefficient of determination `R² = 1 − SS_res / SS_tot`.
@@ -130,8 +157,11 @@ pub fn r_squared(observed: &[f64], predicted: &[f64]) -> Result<f64, StatsError>
     let n = observed.len() as f64;
     let mean = observed.iter().sum::<f64>() / n;
     let ss_tot: f64 = observed.iter().map(|y| (y - mean) * (y - mean)).sum();
-    let ss_res: f64 =
-        observed.iter().zip(predicted).map(|(y, p)| (y - p) * (y - p)).sum();
+    let ss_res: f64 = observed
+        .iter()
+        .zip(predicted)
+        .map(|(y, p)| (y - p) * (y - p))
+        .sum();
     if ss_tot == 0.0 {
         return Ok(if ss_res == 0.0 { 1.0 } else { 0.0 });
     }
@@ -142,7 +172,11 @@ pub fn r_squared(observed: &[f64], predicted: &[f64]) -> Result<f64, StatsError>
 pub fn rms_error(observed: &[f64], predicted: &[f64]) -> Result<f64, StatsError> {
     check_xy(observed, predicted, 1)?;
     let n = observed.len() as f64;
-    let ss: f64 = observed.iter().zip(predicted).map(|(y, p)| (y - p) * (y - p)).sum();
+    let ss: f64 = observed
+        .iter()
+        .zip(predicted)
+        .map(|(y, p)| (y - p) * (y - p))
+        .sum();
     Ok((ss / n).sqrt())
 }
 
@@ -177,14 +211,30 @@ mod tests {
 
     #[test]
     fn predict_and_inverse_agree() {
-        let fit = LinearFit { intercept: 3.0, slope: 2.0, r2: 1.0, rms: 0.0, n: 2, slope_se: 0.0, intercept_se: 0.0 };
+        let fit = LinearFit {
+            intercept: 3.0,
+            slope: 2.0,
+            r2: 1.0,
+            rms: 0.0,
+            n: 2,
+            slope_se: 0.0,
+            intercept_se: 0.0,
+        };
         let y = fit.predict(7.0);
         assert!((fit.solve_for_x(y).unwrap() - 7.0).abs() < 1e-12);
     }
 
     #[test]
     fn horizontal_line_has_no_inverse() {
-        let fit = LinearFit { intercept: 3.0, slope: 0.0, r2: 1.0, rms: 0.0, n: 2, slope_se: 0.0, intercept_se: 0.0 };
+        let fit = LinearFit {
+            intercept: 3.0,
+            slope: 0.0,
+            r2: 1.0,
+            rms: 0.0,
+            n: 2,
+            slope_se: 0.0,
+            intercept_se: 0.0,
+        };
         assert!(fit.solve_for_x(5.0).is_none());
     }
 
@@ -206,12 +256,18 @@ mod tests {
 
     #[test]
     fn degenerate_x_rejected() {
-        assert_eq!(fit_line(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]), Err(StatsError::DegenerateX));
+        assert_eq!(
+            fit_line(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]),
+            Err(StatsError::DegenerateX)
+        );
     }
 
     #[test]
     fn nan_rejected() {
-        assert_eq!(fit_line(&[1.0, f64::NAN], &[1.0, 2.0]), Err(StatsError::NonFinite));
+        assert_eq!(
+            fit_line(&[1.0, f64::NAN], &[1.0, 2.0]),
+            Err(StatsError::NonFinite)
+        );
     }
 
     #[test]
@@ -262,7 +318,15 @@ mod tests {
 
     #[test]
     fn sse_roundtrip() {
-        let fit = LinearFit { intercept: 0.0, slope: 0.0, r2: 0.0, rms: 2.0, n: 5, slope_se: 0.0, intercept_se: 0.0 };
+        let fit = LinearFit {
+            intercept: 0.0,
+            slope: 0.0,
+            r2: 0.0,
+            rms: 2.0,
+            n: 5,
+            slope_se: 0.0,
+            intercept_se: 0.0,
+        };
         assert!((fit.sse() - 20.0).abs() < 1e-12);
     }
 }

@@ -85,7 +85,12 @@ pub fn fit_segmented(xs: &[f64], ys: &[f64]) -> Result<SegmentedFit, StatsError>
         };
         let sse = left.sse() + right.sse();
         if best.as_ref().is_none_or(|(b, _)| sse < *b) {
-            let fit = SegmentedFit { left, right, break_x: xs[split - 1], r2: 0.0 };
+            let fit = SegmentedFit {
+                left,
+                right,
+                break_x: xs[split - 1],
+                r2: 0.0,
+            };
             best = Some((sse, fit));
         }
     }
@@ -156,7 +161,10 @@ pub fn fit_flat_then_linear(xs: &[f64], ys: &[f64]) -> Result<FlatThenLinearFit,
         }
         let left = &ys[..split];
         let flat_level = left.iter().sum::<f64>() / split as f64;
-        let sse_left: f64 = left.iter().map(|y| (y - flat_level) * (y - flat_level)).sum();
+        let sse_left: f64 = left
+            .iter()
+            .map(|y| (y - flat_level) * (y - flat_level))
+            .sum();
         let rising = match fit_line(&xs[split..], &ys[split..]) {
             Ok(f) => f,
             Err(StatsError::DegenerateX) => continue,
@@ -170,7 +178,15 @@ pub fn fit_flat_then_linear(xs: &[f64], ys: &[f64]) -> Result<FlatThenLinearFit,
                 .solve_for_x(flat_level)
                 .filter(|k| k.is_finite() && *k > 0.0)
                 .unwrap_or(xs[split - 1]);
-            best = Some((sse, FlatThenLinearFit { flat_level, rising, knee_x, r2: 0.0 }));
+            best = Some((
+                sse,
+                FlatThenLinearFit {
+                    flat_level,
+                    rising,
+                    knee_x,
+                    r2: 0.0,
+                },
+            ));
         }
     }
     let (_, mut fit) = best.ok_or(StatsError::DegenerateX)?;
@@ -191,9 +207,16 @@ mod tests {
     #[test]
     fn recovers_planted_breakpoint() {
         let xs: Vec<f64> = (1..=64).map(|i| i as f64).collect();
-        let ys: Vec<f64> = xs.iter().map(|&x| if x <= 20.0 { 5.0 + x } else { -35.0 + 3.0 * x }).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| if x <= 20.0 { 5.0 + x } else { -35.0 + 3.0 * x })
+            .collect();
         let fit = fit_segmented(&xs, &ys).unwrap();
-        assert!((fit.break_x - 20.0).abs() <= 1.0, "break at {}", fit.break_x);
+        assert!(
+            (fit.break_x - 20.0).abs() <= 1.0,
+            "break at {}",
+            fit.break_x
+        );
         assert!((fit.left.slope - 1.0).abs() < 1e-6);
         assert!((fit.right.slope - 3.0).abs() < 1e-6);
         assert!(fit.r2 > 0.999);
@@ -249,17 +272,59 @@ mod tests {
 
     #[test]
     fn intersection_of_crossing_lines() {
-        let left = LinearFit { intercept: 10.0, slope: 0.0, r2: 1.0, rms: 0.0, n: 2, slope_se: 0.0, intercept_se: 0.0 };
-        let right = LinearFit { intercept: 0.0, slope: 2.0, r2: 1.0, rms: 0.0, n: 2, slope_se: 0.0, intercept_se: 0.0 };
-        let seg = SegmentedFit { left, right, break_x: 5.0, r2: 1.0 };
+        let left = LinearFit {
+            intercept: 10.0,
+            slope: 0.0,
+            r2: 1.0,
+            rms: 0.0,
+            n: 2,
+            slope_se: 0.0,
+            intercept_se: 0.0,
+        };
+        let right = LinearFit {
+            intercept: 0.0,
+            slope: 2.0,
+            r2: 1.0,
+            rms: 0.0,
+            n: 2,
+            slope_se: 0.0,
+            intercept_se: 0.0,
+        };
+        let seg = SegmentedFit {
+            left,
+            right,
+            break_x: 5.0,
+            r2: 1.0,
+        };
         assert!((seg.intersection().unwrap() - 5.0).abs() < 1e-12);
     }
 
     #[test]
     fn parallel_lines_never_intersect() {
-        let l = LinearFit { intercept: 1.0, slope: 2.0, r2: 1.0, rms: 0.0, n: 2, slope_se: 0.0, intercept_se: 0.0 };
-        let r = LinearFit { intercept: 5.0, slope: 2.0, r2: 1.0, rms: 0.0, n: 2, slope_se: 0.0, intercept_se: 0.0 };
-        let seg = SegmentedFit { left: l, right: r, break_x: 0.0, r2: 1.0 };
+        let l = LinearFit {
+            intercept: 1.0,
+            slope: 2.0,
+            r2: 1.0,
+            rms: 0.0,
+            n: 2,
+            slope_se: 0.0,
+            intercept_se: 0.0,
+        };
+        let r = LinearFit {
+            intercept: 5.0,
+            slope: 2.0,
+            r2: 1.0,
+            rms: 0.0,
+            n: 2,
+            slope_se: 0.0,
+            intercept_se: 0.0,
+        };
+        let seg = SegmentedFit {
+            left: l,
+            right: r,
+            break_x: 0.0,
+            r2: 1.0,
+        };
         assert!(seg.intersection().is_none());
     }
 

@@ -76,7 +76,9 @@ pub fn run_closed_loop(
     let slots = (capacity - cfg.io_bytes) / cfg.align_bytes + 1;
 
     let mut rngs: Vec<StdRng> = (0..cfg.clients)
-        .map(|i| StdRng::seed_from_u64(cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1))))
+        .map(|i| {
+            StdRng::seed_from_u64(cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)))
+        })
         .collect();
     let mut remaining: Vec<u64> = vec![cfg.ios_per_client; cfg.clients];
     let mut finish: Vec<SimTime> = vec![SimTime::ZERO; cfg.clients];
@@ -117,8 +119,16 @@ pub fn run_closed_loop(
         makespan,
         client_finish: finish.iter().map(|&t| t - SimTime::ZERO).collect(),
         total_bytes,
-        throughput_bytes_s: if secs > 0.0 { total_bytes as f64 / secs } else { 0.0 },
-        mean_latency_s: if ios_total > 0 { latency_total / ios_total as f64 } else { 0.0 },
+        throughput_bytes_s: if secs > 0.0 {
+            total_bytes as f64 / secs
+        } else {
+            0.0
+        },
+        mean_latency_s: if ios_total > 0 {
+            latency_total / ios_total as f64
+        } else {
+            0.0
+        },
     })
 }
 
@@ -157,7 +167,10 @@ mod tests {
         let run = |p: usize| {
             let mut d = SsdDevice::new(profile.clone());
             let cfg = ClosedLoopConfig::random_reads(p, 200, 64 * 1024, 7);
-            run_closed_loop(&mut d, &cfg).unwrap().makespan.as_secs_f64()
+            run_closed_loop(&mut d, &cfg)
+                .unwrap()
+                .makespan
+                .as_secs_f64()
         };
         let t1 = run(1);
         let t4 = run(4);
@@ -204,6 +217,11 @@ mod tests {
         };
         run_closed_loop(&mut d, &cfg).unwrap();
         let s = d.stats();
-        assert!(s.writes > 50 && s.reads > 50, "reads {} writes {}", s.reads, s.writes);
+        assert!(
+            s.writes > 50 && s.reads > 50,
+            "reads {} writes {}",
+            s.reads,
+            s.writes
+        );
     }
 }

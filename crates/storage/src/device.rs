@@ -49,7 +49,11 @@ pub enum IoError {
 impl std::fmt::Display for IoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            IoError::OutOfRange { offset, len, capacity } => write!(
+            IoError::OutOfRange {
+                offset,
+                len,
+                capacity,
+            } => write!(
                 f,
                 "IO [{offset}, {offset}+{len}) exceeds device capacity {capacity}"
             ),
@@ -134,7 +138,11 @@ pub trait BlockDevice: Send {
         }
         let cap = self.capacity_bytes();
         if offset.checked_add(len).is_none_or(|end| end > cap) {
-            return Err(IoError::OutOfRange { offset, len, capacity: cap });
+            return Err(IoError::OutOfRange {
+                offset,
+                len,
+                capacity: cap,
+            });
         }
         Ok(())
     }
@@ -151,7 +159,9 @@ pub struct SharedDevice {
 impl SharedDevice {
     /// Wrap a device.
     pub fn new(device: Box<dyn BlockDevice>) -> Self {
-        SharedDevice { inner: Arc::new(Mutex::new(device)) }
+        SharedDevice {
+            inner: Arc::new(Mutex::new(device)),
+        }
     }
 
     /// Read through the shared handle.
@@ -208,10 +218,16 @@ mod tests {
     fn check_range_rejects_bad_ios() {
         let d = RamDisk::new(1024, SimDuration(10));
         assert_eq!(d.check_range(0, 0), Err(IoError::ZeroLength));
-        assert!(matches!(d.check_range(1000, 100), Err(IoError::OutOfRange { .. })));
+        assert!(matches!(
+            d.check_range(1000, 100),
+            Err(IoError::OutOfRange { .. })
+        ));
         assert!(d.check_range(0, 1024).is_ok());
         // Overflowing offset+len must not wrap.
-        assert!(matches!(d.check_range(u64::MAX, 2), Err(IoError::OutOfRange { .. })));
+        assert!(matches!(
+            d.check_range(u64::MAX, 2),
+            Err(IoError::OutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -240,7 +256,11 @@ mod tests {
 
     #[test]
     fn io_error_display() {
-        let e = IoError::OutOfRange { offset: 10, len: 20, capacity: 15 };
+        let e = IoError::OutOfRange {
+            offset: 10,
+            len: 20,
+            capacity: 15,
+        };
         assert!(format!("{e}").contains("capacity 15"));
         assert_eq!(format!("{}", IoError::ZeroLength), "zero-length IO");
     }

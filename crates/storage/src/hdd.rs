@@ -241,11 +241,18 @@ mod tests {
     #[test]
     fn profile_targets_roundtrip() {
         let p = test_profile();
-        assert!((p.expected_setup_s() - 0.012).abs() < 1e-6, "{}", p.expected_setup_s());
+        assert!(
+            (p.expected_setup_s() - 0.012).abs() < 1e-6,
+            "{}",
+            p.expected_setup_s()
+        );
         assert!((p.expected_seconds_per_byte() - 0.000035 / 4096.0).abs() < 1e-12);
         // Table 2 reports alpha per 4 KiB block.
         let alpha_4k = p.alpha_per_byte() * 4096.0;
-        assert!((alpha_4k - 0.0029).abs() < 2e-4, "alpha per 4k = {alpha_4k}");
+        assert!(
+            (alpha_4k - 0.0029).abs() < 2e-4,
+            "alpha per 4k = {alpha_4k}"
+        );
     }
 
     #[test]
@@ -269,7 +276,10 @@ mod tests {
         let second = d.write(1 << 20, &data, first.complete).unwrap();
         let transfer = SimDuration::from_secs_f64((1 << 20) as f64 / d.profile().rate_at(0));
         let slack = (second.latency().0 as i64 - transfer.0 as i64).abs();
-        assert!(slack < 1_000_000, "sequential IO should be transfer-only, slack {slack}ns");
+        assert!(
+            slack < 1_000_000,
+            "sequential IO should be transfer-only, slack {slack}ns"
+        );
         assert!(second.latency() < first.latency());
     }
 
@@ -297,17 +307,19 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         let mut total = 0.0;
         for _ in 0..n {
-            let offset =
-                rng.gen_range(0..(profile.capacity_bytes - io as u64) / 4096) * 4096;
+            let offset = rng.gen_range(0..(profile.capacity_bytes - io as u64) / 4096) * 4096;
             let c = d.read(offset, &mut buf, now).unwrap();
             total += c.latency().as_secs_f64();
             now = c.complete;
         }
         let mean = total / n as f64;
-        let predicted = profile.expected_setup_s()
-            + io as f64 * profile.expected_seconds_per_byte();
+        let predicted =
+            profile.expected_setup_s() + io as f64 * profile.expected_seconds_per_byte();
         let err = (mean - predicted).abs() / predicted;
-        assert!(err < 0.15, "mean {mean} vs predicted {predicted} (err {err})");
+        assert!(
+            err < 0.15,
+            "mean {mean} vs predicted {predicted} (err {err})"
+        );
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod faulty;
 pub mod hdd;
 pub mod profiles;
 pub mod ramdisk;
+pub mod retry;
 pub mod ssd;
 pub mod store;
 pub mod trace;
@@ -39,8 +40,9 @@ pub mod trace;
 pub use clock::{SimDuration, SimTime};
 pub use concurrency::{run_closed_loop, ClosedLoopConfig, ClosedLoopResult};
 pub use device::{BlockDevice, DeviceStats, IoCompletion, IoError, SharedDevice};
-pub use faulty::{FaultInjector, FaultMode, FaultSwitch};
+pub use faulty::{FaultInjector, FaultMode, FaultStats, FaultSwitch};
 pub use hdd::{HddDevice, HddProfile};
 pub use ramdisk::RamDisk;
+pub use retry::{RetryHandle, RetryPolicy, RetryStats, RetryingDevice};
 pub use ssd::{SsdDevice, SsdProfile};
 pub use trace::{TraceEntry, TraceKind, TracingDevice};

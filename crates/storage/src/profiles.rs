@@ -89,7 +89,12 @@ pub fn samsung_860_evo() -> SsdProfile {
 
 /// All Table 1 SSD profiles in row order.
 pub fn table1_ssds() -> Vec<SsdProfile> {
-    vec![samsung_860_pro(), samsung_970_pro(), silicon_power_s55(), sandisk_ultra_ii()]
+    vec![
+        samsung_860_pro(),
+        samsung_970_pro(),
+        silicon_power_s55(),
+        sandisk_ultra_ii(),
+    ]
 }
 
 #[cfg(test)]
@@ -114,7 +119,13 @@ mod tests {
                 s
             );
             let t_4k = p.expected_seconds_per_byte() * 4096.0;
-            assert!((t_4k - t).abs() / t < 0.01, "{}: t {} vs {}", p.name, t_4k, t);
+            assert!(
+                (t_4k - t).abs() / t < 0.01,
+                "{}: t {} vs {}",
+                p.name,
+                t_4k,
+                t
+            );
         }
     }
 
@@ -125,7 +136,13 @@ mod tests {
         let alphas = [0.0012, 0.0022, 0.0031, 0.0029, 0.0017];
         for (p, a) in table2_hdds().iter().zip(alphas) {
             let got = p.alpha_per_byte() * 4096.0;
-            assert!((got - a).abs() / a < 0.05, "{}: alpha {} vs {}", p.name, got, a);
+            assert!(
+                (got - a).abs() / a < 0.05,
+                "{}: alpha {} vs {}",
+                p.name,
+                got,
+                a
+            );
         }
     }
 
@@ -134,7 +151,13 @@ mod tests {
         let targets = [530.0, 2500.0, 260.0, 520.0];
         for (p, mb_s) in table1_ssds().iter().zip(targets) {
             let got = p.saturated_read_rate() / 1e6;
-            assert!((got - mb_s).abs() / mb_s < 0.02, "{}: {} vs {}", p.name, got, mb_s);
+            assert!(
+                (got - mb_s).abs() / mb_s < 0.02,
+                "{}: {} vs {}",
+                p.name,
+                got,
+                mb_s
+            );
         }
     }
 
@@ -144,7 +167,13 @@ mod tests {
         let fitted = [3.3, 5.5, 2.9, 4.6];
         for (p, f) in table1_ssds().iter().zip(fitted) {
             let got = p.effective_p(64 * 1024);
-            assert!((got - f).abs() < 0.05, "{}: effective P {} vs {}", p.name, got, f);
+            assert!(
+                (got - f).abs() < 0.05,
+                "{}: effective P {} vs {}",
+                p.name,
+                got,
+                f
+            );
         }
     }
 

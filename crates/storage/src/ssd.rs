@@ -220,7 +220,10 @@ impl BlockDevice for SsdDevice {
     }
 
     fn describe(&self) -> String {
-        format!("{} ({} units + shared bus, sim SSD)", self.profile.name, self.profile.units)
+        format!(
+            "{} ({} units + shared bus, sim SSD)",
+            self.profile.name, self.profile.units
+        )
     }
 }
 
@@ -241,7 +244,11 @@ mod tests {
     #[test]
     fn target_p_roundtrips() {
         let p = test_profile();
-        assert!((p.effective_p(64 * 1024) - 3.3).abs() < 1e-9, "{}", p.effective_p(64 * 1024));
+        assert!(
+            (p.effective_p(64 * 1024) - 3.3).abs() < 1e-9,
+            "{}",
+            p.effective_p(64 * 1024)
+        );
     }
 
     #[test]
@@ -323,7 +330,10 @@ mod tests {
         let run = |clients: usize| {
             let mut d = SsdDevice::new(p.clone());
             let cfg = ClosedLoopConfig::random_reads(clients, 200, 64 * 1024, 9);
-            run_closed_loop(&mut d, &cfg).unwrap().makespan.as_secs_f64()
+            run_closed_loop(&mut d, &cfg)
+                .unwrap()
+                .makespan
+                .as_secs_f64()
         };
         let t1 = run(1);
         let t2 = run(2);

@@ -20,7 +20,9 @@ pub struct SparseStore {
 impl SparseStore {
     /// New empty store.
     pub fn new() -> Self {
-        SparseStore { pages: HashMap::new() }
+        SparseStore {
+            pages: HashMap::new(),
+        }
     }
 
     /// Number of 4 KiB pages currently materialized.
@@ -43,7 +45,9 @@ impl SparseStore {
             let in_page = (pos & (STORE_PAGE_BYTES as u64 - 1)) as usize;
             let chunk = (STORE_PAGE_BYTES - in_page).min(buf.len() - done);
             match self.pages.get(&page_no) {
-                Some(page) => buf[done..done + chunk].copy_from_slice(&page[in_page..in_page + chunk]),
+                Some(page) => {
+                    buf[done..done + chunk].copy_from_slice(&page[in_page..in_page + chunk])
+                }
                 None => buf[done..done + chunk].fill(0),
             }
             done += chunk;

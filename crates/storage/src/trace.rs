@@ -42,7 +42,10 @@ pub struct TracingDevice<D: BlockDevice> {
 impl<D: BlockDevice> TracingDevice<D> {
     /// Wrap a device.
     pub fn new(inner: D) -> Self {
-        TracingDevice { inner, entries: Vec::new() }
+        TracingDevice {
+            inner,
+            entries: Vec::new(),
+        }
     }
 
     /// Recorded IOs, in submission order.

@@ -1,7 +1,9 @@
 //! Property tests: every device preserves data under arbitrary write/read
 //! interleavings, and time never runs backwards.
 
-use dam_storage::{BlockDevice, HddDevice, HddProfile, RamDisk, SimDuration, SimTime, SsdDevice, SsdProfile};
+use dam_storage::{
+    BlockDevice, HddDevice, HddProfile, RamDisk, SimDuration, SimTime, SsdDevice, SsdProfile,
+};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -43,7 +45,10 @@ fn exercise(device: &mut dyn BlockDevice, ops: &[Op]) -> Result<(), TestCaseErro
                     let c = device.read(chunk as u64 * CHUNK, &mut buf, now).unwrap();
                     prop_assert!(c.complete >= c.start && c.start >= now);
                     now = c.complete;
-                    prop_assert!(buf.iter().all(|&b| b == fill), "data corruption in chunk {chunk}");
+                    prop_assert!(
+                        buf.iter().all(|&b| b == fill),
+                        "data corruption in chunk {chunk}"
+                    );
                 }
             }
         }

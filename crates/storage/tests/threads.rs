@@ -70,6 +70,9 @@ fn concurrent_threads_never_lose_final_writes() {
     let mut buf = vec![0u8; 4096];
     for t in 0..THREADS {
         dev.read(t as u64 * 4096, &mut buf, SimTime::ZERO).unwrap();
-        assert!(buf.iter().all(|&b| b == 99), "thread {t}'s final write lost");
+        assert!(
+            buf.iter().all(|&b| b == 99),
+            "thread {t}'s final write lost"
+        );
     }
 }

@@ -13,7 +13,10 @@
 /// Runs in `O(log height)` recursion depth with no allocation.
 pub fn veb_position(height: u32, bfs: u64) -> u64 {
     debug_assert!(height >= 1);
-    debug_assert!(bfs + 1 < (1u64 << height), "bfs index {bfs} outside tree of height {height}");
+    debug_assert!(
+        bfs + 1 < (1u64 << height),
+        "bfs index {bfs} outside tree of height {height}"
+    );
     if height == 1 {
         return 0;
     }
@@ -162,7 +165,11 @@ mod tests {
                 for d in 0..h {
                     blocks.insert(veb_position(h, bfs) / block);
                     if d + 1 < h {
-                        bfs = if (leaf_path >> d) & 1 == 0 { bfs_left(bfs) } else { bfs_right(bfs) };
+                        bfs = if (leaf_path >> d) & 1 == 0 {
+                            bfs_left(bfs)
+                        } else {
+                            bfs_right(bfs)
+                        };
                     }
                 }
                 worst = worst.max(blocks.len());

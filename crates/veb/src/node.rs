@@ -73,7 +73,11 @@ impl IntraNode {
             }
         }
         debug_assert_eq!(next, n + 1);
-        IntraNode { height, layout, keys }
+        IntraNode {
+            height,
+            layout,
+            keys,
+        }
     }
 
     fn position_of(layout: NodeLayout, height: u32, bfs: u64) -> u64 {

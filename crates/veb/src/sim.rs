@@ -197,7 +197,12 @@ pub fn run_pdam_sim(cfg: &PdamSimConfig) -> PdamSimResult {
     assert!(cfg.p >= 1 && cfg.clients >= 1 && cfg.steps >= 1);
     assert!(cfg.block_pivots >= 2 && cfg.n_items >= 4);
     let mut clients: Vec<ClientState> = (0..cfg.clients)
-        .map(|i| ClientState::new(cfg, cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1))))
+        .map(|i| {
+            ClientState::new(
+                cfg,
+                cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)),
+            )
+        })
         .collect();
     let mut completed = 0u64;
     let mut blocks_fetched = 0u64;
@@ -379,7 +384,11 @@ mod tests {
     #[test]
     fn queries_complete_at_all() {
         let r = run_pdam_sim(&base_cfg());
-        assert!(r.queries_completed > 10, "completed {}", r.queries_completed);
+        assert!(
+            r.queries_completed > 10,
+            "completed {}",
+            r.queries_completed
+        );
         assert!(r.mean_steps_per_query.is_finite());
     }
 }

@@ -6,9 +6,9 @@
 //! cargo run --release --example device_profiling
 //! ```
 
+use refined_dam::prelude::*;
 use refined_dam::profiler::{fig1_thread_counts, table2_io_sizes};
 use refined_dam::storage::profiles;
-use refined_dam::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ----- Affine model on a hard disk (§4.2) -----
@@ -22,10 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!(
         "  fitted s = {:.4} s, t = {:.6} s/4KiB, alpha = {:.4}/4KiB, R^2 = {:.4}",
-        affine_report.setup_s,
-        affine_report.t_per_4k,
-        affine_report.alpha_per_4k,
-        affine_report.r2
+        affine_report.setup_s, affine_report.t_per_4k, affine_report.alpha_per_4k, affine_report.r2
     );
     println!(
         "  (device ground truth: s = {:.4}, t = {:.6})",
@@ -64,8 +61,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let shape = DictShape::new(2e9, 1e4, 116.0, 24.0);
     let tuning = tune_for_affine(&affine, &shape);
     println!("\ntuning for the fitted alpha:");
-    println!("  Cor 6  (all ops):     B-tree nodes of {:.0} KiB", tuning.btree_all_ops_node_bytes / 1024.0);
-    println!("  Cor 7  (point ops):   B-tree nodes of {:.0} KiB", tuning.btree_point_node_bytes / 1024.0);
+    println!(
+        "  Cor 6  (all ops):     B-tree nodes of {:.0} KiB",
+        tuning.btree_all_ops_node_bytes / 1024.0
+    );
+    println!(
+        "  Cor 7  (point ops):   B-tree nodes of {:.0} KiB",
+        tuning.btree_point_node_bytes / 1024.0
+    );
     println!(
         "  Cor 12 (Bε-tree):     F = {:.0}, nodes of {:.1} MiB, inserts {:.1}x faster",
         tuning.betree_fanout,

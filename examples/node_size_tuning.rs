@@ -38,17 +38,24 @@ fn measure_queries(dict: &mut dyn Dictionary) -> f64 {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let profile = profiles::toshiba_dt01aca050();
     let pairs = preload();
-    println!("{:<10} {:>16} {:>16}", "node size", "B-tree ms/query", "Bε-tree ms/query");
+    println!(
+        "{:<10} {:>16} {:>16}",
+        "node size", "B-tree ms/query", "Bε-tree ms/query"
+    );
 
     let mut node_bytes = 16 * 1024usize;
     while node_bytes <= 4 << 20 {
         let dev_b = SharedDevice::new(Box::new(HddDevice::new(profile.clone(), 1)));
-        let mut btree = BTree::bulk_load(dev_b, BTreeConfig::new(node_bytes, CACHE), pairs.clone())?;
+        let mut btree =
+            BTree::bulk_load(dev_b, BTreeConfig::new(node_bytes, CACHE), pairs.clone())?;
         let btree_ms = measure_queries(&mut btree);
 
         let dev_e = SharedDevice::new(Box::new(HddDevice::new(profile.clone(), 1)));
-        let mut betree =
-            OptBeTree::bulk_load(dev_e, OptConfig::balanced(node_bytes, 124, CACHE), pairs.clone())?;
+        let mut betree = OptBeTree::bulk_load(
+            dev_e,
+            OptConfig::balanced(node_bytes, 124, CACHE),
+            pairs.clone(),
+        )?;
         let betree_ms = measure_queries(&mut betree);
 
         println!(
@@ -60,7 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         node_bytes *= 4;
     }
 
-    println!("\nThe B-tree column grows with node size; the (basement-node) Bε-tree column stays flat —");
+    println!(
+        "\nThe B-tree column grows with node size; the (basement-node) Bε-tree column stays flat —"
+    );
     println!("exactly the Figure 2 vs Figure 3 contrast the affine model predicts.");
     Ok(())
 }

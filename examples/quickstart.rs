@@ -10,7 +10,11 @@ use refined_dam::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A simulated 2018-era WD Red hard disk (Table 2, row 5).
     let profile = refined_dam::storage::profiles::wd_red_6tb_2018();
-    println!("device: {} (alpha = {:.2e}/byte)", profile.name, profile.alpha_per_byte());
+    println!(
+        "device: {} (alpha = {:.2e}/byte)",
+        profile.name,
+        profile.alpha_per_byte()
+    );
     let device = SharedDevice::new(Box::new(HddDevice::new(profile, 42)));
 
     // A Bε-tree with 1 MiB nodes, F = √B fanout, and 4 MiB of cache.

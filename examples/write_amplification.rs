@@ -16,7 +16,12 @@ const NODE: usize = 128 * 1024;
 
 fn preload() -> Vec<(Vec<u8>, Vec<u8>)> {
     (0..N_KEYS)
-        .map(|i| (refined_dam::kv::key_from_u64(2 * i).to_vec(), vec![7u8; 100]))
+        .map(|i| {
+            (
+                refined_dam::kv::key_from_u64(2 * i).to_vec(),
+                vec![7u8; 100],
+            )
+        })
         .collect()
 }
 
@@ -43,8 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let btree_written = btree.pager().counters().bytes_written - before;
 
     let dev = SharedDevice::new(Box::new(HddDevice::new(profile.clone(), 3)));
-    let mut betree =
-        BeTree::bulk_load(dev, BeTreeConfig::sqrt_fanout(NODE, 116, CACHE), pairs.clone())?;
+    let mut betree = BeTree::bulk_load(
+        dev,
+        BeTreeConfig::sqrt_fanout(NODE, 116, CACHE),
+        pairs.clone(),
+    )?;
     let before = betree.pager().counters().bytes_written;
     run_inserts(&mut betree);
     let betree_written = betree.pager().counters().bytes_written - before;

@@ -1,0 +1,168 @@
+//! Crash-consistency sweep: power-cut the device at IO #k for every k and
+//! prove that reopening is always safe.
+//!
+//! The contract under test (see DESIGN.md): these structures update nodes
+//! in place and publish a superblock/manifest last, so after a crash at an
+//! arbitrary IO the *only* two acceptable outcomes on reopen are
+//!
+//! 1. a clean, typed `KvError::Corrupt` — no superblock was persisted, or
+//!    the crash tore it mid-write and the checksummed frame catches the
+//!    damage; never a panic, never a garbage decode; or
+//! 2. a successful open that recovers **everything** written before the
+//!    crash — possible only when the final superblock write completed.
+//!
+//! `FaultMode::CrashAfterIos(k)` emulates the power cut: IO #k+1 is torn
+//! (writes persist only a prefix) and every later IO fails until "reboot"
+//! (clearing the mode).
+
+use refined_dam::prelude::*;
+use refined_dam::storage::{FaultInjector, FaultMode, FaultSwitch, RamDisk};
+
+/// Keys preloaded before the simulated crash.
+const N: u64 = 600;
+
+fn crash_device() -> (SharedDevice, FaultSwitch) {
+    let (inj, switch) = FaultInjector::new(RamDisk::new(1 << 26, SimDuration(100)));
+    (SharedDevice::new(Box::new(inj)), switch)
+}
+
+fn key(i: u64) -> [u8; 16] {
+    refined_dam::kv::key_from_u64(i)
+}
+
+fn value(i: u64) -> Vec<u8> {
+    vec![(i % 251) as u8; 40 + (i % 17) as usize]
+}
+
+/// Insert `N` keys then `sync`; stops at the first storage error (the
+/// crash point) and reports whether the full run committed.
+fn preload(dict: &mut dyn Dictionary) -> bool {
+    for i in 0..N {
+        if dict.insert(&key(i), &value(i)).is_err() {
+            return false;
+        }
+    }
+    dict.sync().is_ok()
+}
+
+fn assert_fully_recovered(dict: &mut dyn Dictionary, label: &str, k: u64) {
+    let n = dict
+        .len()
+        .unwrap_or_else(|e| panic!("{label} k={k}: len after open: {e}"));
+    assert_eq!(n, N, "{label} k={k}: key count after recovery");
+    for i in (0..N).step_by(53) {
+        let got = dict
+            .get(&key(i))
+            .unwrap_or_else(|e| panic!("{label} k={k}: get({i}) after open: {e}"));
+        assert_eq!(got, Some(value(i)), "{label} k={k}: value {i}");
+    }
+    let all = dict
+        .range(&[], &[0xFF; 17])
+        .unwrap_or_else(|e| panic!("{label} k={k}: range after open: {e}"));
+    assert_eq!(all.len() as u64, N, "{label} k={k}: range length");
+}
+
+/// The sweep: measure a clean run's IO count, then for a spread of crash
+/// points k re-run against `CrashAfterIos(k)`, reboot, reopen, and check
+/// the two-outcome contract.
+fn crash_sweep<T, C, O>(label: &str, create: C, open: O)
+where
+    T: Dictionary,
+    C: Fn(SharedDevice) -> T,
+    O: Fn(SharedDevice) -> Result<T, KvError>,
+{
+    // Clean run: how many IOs does preload + sync take?
+    let (dev, switch) = crash_device();
+    let mut tree = create(dev);
+    assert!(preload(&mut tree), "{label}: clean preload failed");
+    let total = switch.stats().ios_seen;
+    assert!(total > 0, "{label}: preload did no IO");
+    drop(tree);
+
+    // Crash points: the edges plus an even spread in between.
+    let step = (total / 16).max(1);
+    let mut points: Vec<u64> = (0..total).step_by(step as usize).collect();
+    points.extend([1, total.saturating_sub(1), total]);
+    points.sort_unstable();
+    points.dedup();
+
+    let mut corrupt_seen = 0u64;
+    let mut recovered_seen = 0u64;
+    for &k in &points {
+        let (dev, switch) = crash_device();
+        switch.set(FaultMode::CrashAfterIos(k));
+        let mut tree = create(dev.clone());
+        let committed = preload(&mut tree);
+        drop(tree);
+
+        // "Reboot": the torn prefix is on disk, faults clear.
+        switch.set(FaultMode::None);
+        match open(dev) {
+            Err(KvError::Corrupt(_)) => {
+                corrupt_seen += 1;
+                assert!(
+                    !committed,
+                    "{label} k={k}: sync committed but reopen says corrupt"
+                );
+            }
+            Err(e) => panic!("{label} k={k}: unexpected error kind: {e}"),
+            Ok(mut reopened) => {
+                recovered_seen += 1;
+                // The superblock is written last, so a successful open
+                // means the whole preload committed — and then *all* data
+                // must be there.
+                assert_fully_recovered(&mut reopened, label, k);
+            }
+        }
+    }
+    // The sweep must exercise both arms of the contract.
+    assert!(
+        corrupt_seen > 0,
+        "{label}: no crash point detected corruption"
+    );
+    assert!(
+        recovered_seen > 0,
+        "{label}: no crash point recovered (k={total} should)"
+    );
+}
+
+#[test]
+fn btree_crash_sweep() {
+    let cfg = BTreeConfig::new(4096, 1 << 16);
+    crash_sweep(
+        "btree",
+        |dev| BTree::create(dev, cfg).unwrap(),
+        move |dev| BTree::open(dev, cfg),
+    );
+}
+
+#[test]
+fn betree_crash_sweep() {
+    let cfg = || BeTreeConfig::new(4096, 4, 1 << 16);
+    crash_sweep(
+        "betree",
+        move |dev| BeTree::create(dev, cfg()).unwrap(),
+        move |dev| BeTree::open(dev, cfg()),
+    );
+}
+
+#[test]
+fn opt_betree_crash_sweep() {
+    let cfg = || OptConfig::new(4, 1024, 1 << 16);
+    crash_sweep(
+        "opt-betree",
+        move |dev| OptBeTree::create(dev, cfg()).unwrap(),
+        move |dev| OptBeTree::open(dev, cfg()),
+    );
+}
+
+#[test]
+fn lsm_crash_sweep() {
+    let mut cfg = LsmConfig::new(4096, 1 << 16);
+    cfg.block_bytes = 512;
+    crash_sweep(
+        "lsm",
+        move |dev| LsmTree::create(dev, cfg).unwrap(),
+        move |dev| LsmTree::open(dev, cfg),
+    );
+}

@@ -9,9 +9,7 @@ use refined_dam::prelude::*;
 use refined_dam::storage::profiles;
 
 fn make_trees() -> Vec<(&'static str, Box<dyn Dictionary>)> {
-    let hdd = || {
-        SharedDevice::new(Box::new(HddDevice::new(profiles::toshiba_dt01aca050(), 7)))
-    };
+    let hdd = || SharedDevice::new(Box::new(HddDevice::new(profiles::toshiba_dt01aca050(), 7)));
     let ssd = || SharedDevice::new(Box::new(SsdDevice::new(profiles::samsung_860_evo())));
     vec![
         (
@@ -138,7 +136,12 @@ fn write_optimization_hierarchy_holds() {
     // Preload 100k pairs (≈ 12 MiB, far over the 512 KiB cache) so inserts
     // touch cold leaves, as in the §7 protocol.
     let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..100_000u64)
-        .map(|i| (refined_dam::kv::key_from_u64(2 * i).to_vec(), vec![9u8; 100]))
+        .map(|i| {
+            (
+                refined_dam::kv::key_from_u64(2 * i).to_vec(),
+                vec![9u8; 100],
+            )
+        })
         .collect();
     let cache = 1u64 << 19;
     let run = |mut dict: Box<dyn Dictionary>| -> f64 {
@@ -159,7 +162,12 @@ fn write_optimization_hierarchy_holds() {
         BTree::bulk_load(hdd(), BTreeConfig::new(64 * 1024, cache), pairs.clone()).unwrap(),
     ));
     let betree_ms = run(Box::new(
-        BeTree::bulk_load(hdd(), BeTreeConfig::sqrt_fanout(64 * 1024, 116, cache), pairs).unwrap(),
+        BeTree::bulk_load(
+            hdd(),
+            BeTreeConfig::sqrt_fanout(64 * 1024, 116, cache),
+            pairs,
+        )
+        .unwrap(),
     ));
     assert!(
         betree_ms * 3.0 < btree_ms,

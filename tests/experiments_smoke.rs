@@ -36,10 +36,19 @@ fn fig1_series_flat_then_linear() {
     for row in rows {
         let t = |p: usize| row.series.iter().find(|&&(x, _)| x == p).unwrap().1;
         // Flat start: doubling 1 → 2 threads costs < 25% more time.
-        assert!(t(2) < 1.25 * t(1), "{}: t2/t1 = {}", row.device, t(2) / t(1));
+        assert!(
+            t(2) < 1.25 * t(1),
+            "{}: t2/t1 = {}",
+            row.device,
+            t(2) / t(1)
+        );
         // Linear tail: 64 threads ≈ 2× of 32 threads.
         let tail = t(64) / t(32);
-        assert!((1.7..2.3).contains(&tail), "{}: t64/t32 = {tail}", row.device);
+        assert!(
+            (1.7..2.3).contains(&tail),
+            "{}: t64/t32 = {tail}",
+            row.device
+        );
     }
 }
 
@@ -73,11 +82,17 @@ fn fig2_and_fig3_sensitivity_contrast() {
     let fig2 = experiments::fig2(&s);
     let fig3 = experiments::fig3(&s);
     // B-tree: cost at the largest node size is several times the minimum.
-    let b_min = fig2.iter().map(|p| p.query_ms).fold(f64::INFINITY, f64::min);
+    let b_min = fig2
+        .iter()
+        .map(|p| p.query_ms)
+        .fold(f64::INFINITY, f64::min);
     let b_last = fig2.last().unwrap().query_ms;
     let btree_growth = b_last / b_min;
     // Bε-tree: flat by comparison.
-    let e_min = fig3.iter().map(|p| p.query_ms).fold(f64::INFINITY, f64::min);
+    let e_min = fig3
+        .iter()
+        .map(|p| p.query_ms)
+        .fold(f64::INFINITY, f64::min);
     let e_last = fig3.last().unwrap().query_ms;
     let betree_growth = e_last / e_min;
     assert!(
@@ -136,10 +151,21 @@ fn lemma13_veb_adapts_across_client_counts() {
     let k1 = &rows[0];
     let kp = rows.last().unwrap();
     // k = 1: fat vEB beats small nodes (single client exploits read-ahead).
-    assert!(k1.fat_veb > k1.small_nodes, "{} vs {}", k1.fat_veb, k1.small_nodes);
+    assert!(
+        k1.fat_veb > k1.small_nodes,
+        "{} vs {}",
+        k1.fat_veb,
+        k1.small_nodes
+    );
     // vEB beats the sorted layout at every k.
     for r in &rows {
-        assert!(r.fat_veb > r.fat_sorted, "k={}: {} vs {}", r.clients, r.fat_veb, r.fat_sorted);
+        assert!(
+            r.fat_veb > r.fat_sorted,
+            "k={}: {} vs {}",
+            r.clients,
+            r.fat_veb,
+            r.fat_sorted
+        );
     }
     // k = P: within 2x of the small-node optimum.
     assert!(kp.fat_veb > kp.small_nodes / 2.0);
@@ -191,9 +217,15 @@ fn lsm_sweep_shows_the_leveldb_story() {
     );
     assert!(last.write_amp < first.write_amp, "WA should fall");
     // ...while queries barely move.
-    let q_min = rows.iter().map(|p| p.query_ms).fold(f64::INFINITY, f64::min);
+    let q_min = rows
+        .iter()
+        .map(|p| p.query_ms)
+        .fold(f64::INFINITY, f64::min);
     let q_max = rows.iter().map(|p| p.query_ms).fold(0.0f64, f64::max);
-    assert!(q_max < 2.0 * q_min, "query range [{q_min}, {q_max}] should be flat");
+    assert!(
+        q_max < 2.0 * q_min,
+        "query range [{q_min}, {q_max}] should be flat"
+    );
 }
 
 #[test]
@@ -256,8 +288,12 @@ fn oltp_and_olap_optima_diverge() {
     // Scan bandwidth grows strongly with node size on an aged tree.
     let first = rows.first().unwrap();
     let last = rows.last().unwrap();
-    assert!(last.scan_mb_s > 4.0 * first.scan_mb_s,
-        "scan bw should grow: {} -> {}", first.scan_mb_s, last.scan_mb_s);
+    assert!(
+        last.scan_mb_s > 4.0 * first.scan_mb_s,
+        "scan bw should grow: {} -> {}",
+        first.scan_mb_s,
+        last.scan_mb_s
+    );
 }
 
 #[test]
@@ -265,7 +301,12 @@ fn skewed_queries_exploit_the_cache() {
     let rows = experiments::cache_skew(&scale());
     let uniform = &rows[0];
     let hot = rows.last().unwrap();
-    assert!(hot.hit_rate > uniform.hit_rate, "{} vs {}", hot.hit_rate, uniform.hit_rate);
+    assert!(
+        hot.hit_rate > uniform.hit_rate,
+        "{} vs {}",
+        hot.hit_rate,
+        uniform.hit_rate
+    );
     assert!(
         hot.query_ms < uniform.query_ms,
         "hot {} ms should beat uniform {} ms",

@@ -48,10 +48,7 @@ fn fitted_affine_model_predicts_btree_costs() {
 
     // Step 3: the affine prediction: per-IO cost (1 + αB)·s, times the
     // measured IO count (the tree knows its height; the model the ratio).
-    let predicted_ms = (1.0 + report.alpha_per_byte * node_bytes as f64)
-        * setup_s
-        * 1e3
-        * mean_ios;
+    let predicted_ms = (1.0 + report.alpha_per_byte * node_bytes as f64) * setup_s * 1e3 * mean_ios;
     // Short-stroking (the data occupies a fraction of the disk) makes
     // realized seeks cheaper than the full-stroke fit, so the prediction is
     // an upper bound; it must be within a small constant.
@@ -80,7 +77,10 @@ fn fitted_pdam_predicts_closed_loop_times() {
     // Fresh measurement at p = 24 (not in the fitted sweep).
     let mut device = SsdDevice::new(profile.clone());
     let cfg = ClosedLoopConfig::random_reads(24, 200, 64 * 1024, 99);
-    let measured = run_closed_loop(&mut device, &cfg).unwrap().makespan.as_secs_f64();
+    let measured = run_closed_loop(&mut device, &cfg)
+        .unwrap()
+        .makespan
+        .as_secs_f64();
 
     // PDAM prediction: steps × per-IO time; per-IO time from the fitted
     // flat level.
@@ -88,7 +88,10 @@ fn fitted_pdam_predicts_closed_loop_times() {
     let predicted = pdam.closed_loop_steps(24.0, 200.0) * per_io_s;
     let err = (predicted - measured).abs() / measured;
     // The paper reports error "never more than 14%" for this prediction.
-    assert!(err < 0.2, "predicted {predicted}s vs measured {measured}s (err {err})");
+    assert!(
+        err < 0.2,
+        "predicted {predicted}s vs measured {measured}s (err {err})"
+    );
 }
 
 /// Tuning consistency: the Corollary 7 node size really is better for

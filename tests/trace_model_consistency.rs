@@ -43,8 +43,7 @@ fn btree_workload_trace_obeys_affine_model_and_lemma1() {
 
     // (a) Affine prediction of total time: sum of (1 + alpha*x) * s.
     let affine = Affine::new(alpha);
-    let predicted_s: f64 =
-        sizes.iter().map(|&x| affine.io_cost(x)).sum::<f64>() * setup_s;
+    let predicted_s: f64 = sizes.iter().map(|&x| affine.io_cost(x)).sum::<f64>() * setup_s;
     let simulated_s = now.as_secs_f64();
     let err = (predicted_s - simulated_s).abs() / simulated_s;
     assert!(
