@@ -29,4 +29,5 @@ fn main() {
             rows[0].scan_mb_s / rows[1].scan_mb_s
         );
     }
+    dam_bench::metrics::export("aging_range_scan");
 }

@@ -37,4 +37,5 @@ fn main() {
     println!("\n§3: 'writes are more expensive than reads, and this has algorithmic");
     println!("consequences' — costlier writes push the design toward smaller ε (more");
     println!("buffering) and make write-optimization pay off at lower write fractions.");
+    dam_bench::metrics::export("asymmetry_epsilon");
 }

@@ -24,4 +24,5 @@ fn main() {
     );
     println!("\nHotter key distributions concentrate the working set inside M: hit rates");
     println!("climb and the effective log(N/M) shrinks.");
+    dam_bench::metrics::export("cache_skew");
 }

@@ -37,4 +37,5 @@ fn main() {
         )
     );
     println!("\nPaper: 'an optimized Bε-tree node size can be nearly the square of the optimal node size for a B-tree.'");
+    dam_bench::metrics::export("corollary_optima");
 }

@@ -26,4 +26,5 @@ fn main() {
     print!("{}", table::render(&header_refs, &data));
     println!("\nPDAM prediction: flat for p <= P, then linear in p.");
     println!("Paper shape: 'relatively constant until around p = 2 or 4 ... increases linearly thereafter.'");
+    dam_bench::metrics::export("fig1_ssd_threads");
 }

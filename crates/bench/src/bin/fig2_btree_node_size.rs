@@ -47,4 +47,5 @@ fn main() {
     println!(
         "Paper shape: costs grow once nodes exceed ~64 KiB, then roughly linearly with node size."
     );
+    dam_bench::metrics::export("fig2_btree_node_size");
 }

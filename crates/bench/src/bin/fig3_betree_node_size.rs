@@ -51,4 +51,5 @@ fn main() {
     println!(
         "Paper shape: much flatter than the B-tree; larger node sizes cost 'only slightly' more."
     );
+    dam_bench::metrics::export("fig3_betree_node_size");
 }

@@ -39,4 +39,5 @@ fn main() {
     println!(
         "\nPaper: the vEB design 'gracefully adapts when the number of clients varies over time.'"
     );
+    dam_bench::metrics::export("lemma13_pdam_throughput");
 }

@@ -40,4 +40,5 @@ fn main() {
     println!(
         "\nPaper: 'the DAM approximates the IO cost on any hardware to within a factor of 2.'"
     );
+    dam_bench::metrics::export("lemma1_dam_vs_affine");
 }

@@ -35,4 +35,5 @@ fn main() {
     println!("\nInsert cost falls as tables pass the half-bandwidth point (sequential writes");
     println!("amortize the setup cost); queries read one block per level regardless — which is");
     println!("why a single large SSTable size serves 'all workloads'.");
+    dam_bench::metrics::export("lsm_sstable_size");
 }

@@ -35,4 +35,5 @@ fn main() {
     );
     println!("\nSmall nodes win points, big nodes win scans — no single size serves both,");
     println!("which is the paper's explanation for the OLTP/OLAP leaf-size split (§5).");
+    dam_bench::metrics::export("oltp_olap_node_size");
 }

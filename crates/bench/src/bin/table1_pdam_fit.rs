@@ -40,4 +40,5 @@ fn main() {
         )
     );
     println!("\nPaper: R² values all within 0.1% of 1; fitted P in 2.9–5.5.");
+    dam_bench::metrics::export("table1_pdam_fit");
 }

@@ -41,4 +41,5 @@ fn main() {
         )
     );
     println!("\nPaper: R² values all within 0.1% of 1.");
+    dam_bench::metrics::export("table2_affine_fit");
 }

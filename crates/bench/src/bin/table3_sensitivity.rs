@@ -63,4 +63,5 @@ fn main() {
         table::render(&["ε", "F", "Bε insert", "Bε query"], &eps_rows)
     );
     println!("Paper: 'The cost for inserts and queries increases more slowly in Bε-trees than in B-trees as the node size increases.'");
+    dam_bench::metrics::export("table3_sensitivity");
 }

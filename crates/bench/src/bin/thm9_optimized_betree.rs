@@ -35,4 +35,5 @@ fn main() {
         )
     );
     println!("\nPaper: the optimized organization makes 'all operations simultaneously optimal, up to lower order terms.'");
+    dam_bench::metrics::export("thm9_optimized_betree");
 }

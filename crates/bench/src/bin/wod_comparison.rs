@@ -32,4 +32,5 @@ fn main() {
     );
     println!("\n§3: a write-optimized dictionary has 'substantially better insertion performance");
     println!("than a B-tree and query performance at or near that of a B-tree.'");
+    dam_bench::metrics::export("wod_comparison");
 }

@@ -28,4 +28,5 @@ fn main() {
         )
     );
     println!("\nLemma 3: B-tree WA is Θ(B); Theorem 4(4): Bε-tree WA is O(B^ε · log(N/M)).");
+    dam_bench::metrics::export("write_amplification");
 }

@@ -18,7 +18,7 @@ mod dam_refinements_bench_reexports {
         fig1_thread_counts, profile_affine, profile_pdam, table2_io_sizes,
     };
     pub use refined_dam::storage::profiles;
-    pub use refined_dam::storage::{HddDevice, SharedDevice, SsdDevice};
+    pub use refined_dam::storage::{HddDevice, SsdDevice};
     pub use refined_dam::tuner::tune_for_affine;
     pub use refined_dam::veb::sim::TreeDesign;
     pub use refined_dam::veb::{run_pdam_sim, PdamSimConfig};
@@ -201,6 +201,14 @@ fn preload_pairs(scale: &Scale) -> Vec<(Vec<u8>, Vec<u8>)> {
 /// point queries over preloaded keys, then `ops` random inserts of new
 /// keys. Returns `(query_ms, insert_ms)` means of simulated IO time.
 pub fn measure_phases(dict: &mut dyn Dictionary, scale: &Scale) -> (f64, f64) {
+    if let Some(o) = crate::metrics::obs() {
+        let mut wrapped = refined_dam::obs::ObservedDict::new(dict, "dict", o);
+        return measure_phases_inner(&mut wrapped, scale);
+    }
+    measure_phases_inner(dict, scale)
+}
+
+fn measure_phases_inner(dict: &mut dyn Dictionary, scale: &Scale) -> (f64, f64) {
     let mut gen = WorkloadGen::new(WorkloadConfig::uniform(scale.n_keys, scale.seed ^ 0xF00D));
     let mut query_ms = 0.0;
     for _ in 0..scale.ops {
@@ -240,7 +248,7 @@ pub fn fig2(scale: &Scale) -> Vec<NodeSizePoint> {
     let mut out = Vec::new();
     let mut node_bytes = 4096usize;
     while node_bytes <= 1 << 20 {
-        let device = SharedDevice::new(Box::new(HddDevice::new(
+        let device = crate::metrics::observe(Box::new(HddDevice::new(
             profile.clone(),
             scale.seed ^ node_bytes as u64,
         )));
@@ -250,6 +258,9 @@ pub fn fig2(scale: &Scale) -> Vec<NodeSizePoint> {
             pairs.clone(),
         )
         .expect("bulk load failed");
+        if let Some(o) = crate::metrics::obs() {
+            tree.set_obs(o);
+        }
         let (query_ms, insert_ms) = measure_phases(&mut tree, scale);
         let pred = btree_costs::point_op_cost(&affine, &shape, node_bytes as f64) * setup_s * 1e3;
         out.push(NodeSizePoint {
@@ -287,7 +298,7 @@ pub fn fig3(scale: &Scale) -> Vec<NodeSizePoint> {
     let mut out = Vec::new();
     let mut node_bytes = 64 * 1024usize;
     while node_bytes <= 4 << 20 {
-        let device = SharedDevice::new(Box::new(HddDevice::new(
+        let device = crate::metrics::observe(Box::new(HddDevice::new(
             profile.clone(),
             scale.seed ^ node_bytes as u64,
         )));
@@ -297,6 +308,9 @@ pub fn fig3(scale: &Scale) -> Vec<NodeSizePoint> {
             pairs.clone(),
         )
         .expect("bulk load failed");
+        if let Some(o) = crate::metrics::obs() {
+            tree.set_obs(o);
+        }
         let (query_ms, insert_ms) = measure_phases(&mut tree, scale);
         let cfg = betree_costs::BetreeConfig::sqrt_fanout(&shape, node_bytes as f64);
         let pred_q = betree_costs::query_cost_optimized(&affine, &shape, &cfg) * setup_s * 1e3;
@@ -400,7 +414,7 @@ pub fn thm9_ablation(scale: &Scale) -> Vec<Thm9Row> {
 
     // Standard variant.
     {
-        let device = SharedDevice::new(Box::new(HddDevice::new(profile.clone(), scale.seed)));
+        let device = crate::metrics::observe(Box::new(HddDevice::new(profile.clone(), scale.seed)));
         let mut tree = BeTree::bulk_load(
             device,
             BeTreeConfig::sqrt_fanout(node_bytes, entry, scale.cache_bytes),
@@ -421,7 +435,7 @@ pub fn thm9_ablation(scale: &Scale) -> Vec<Thm9Row> {
 
     // Optimized variant (Theorem 9).
     {
-        let device = SharedDevice::new(Box::new(HddDevice::new(profile.clone(), scale.seed)));
+        let device = crate::metrics::observe(Box::new(HddDevice::new(profile.clone(), scale.seed)));
         let mut tree = OptBeTree::bulk_load(
             device,
             OptConfig::balanced(node_bytes, entry, scale.cache_bytes),
@@ -603,7 +617,7 @@ pub fn write_amp(scale: &Scale) -> Vec<WriteAmpRow> {
 
     let mut rows = Vec::new();
     {
-        let device = SharedDevice::new(Box::new(HddDevice::new(profile.clone(), scale.seed)));
+        let device = crate::metrics::observe(Box::new(HddDevice::new(profile.clone(), scale.seed)));
         let mut tree = BTree::bulk_load(
             device,
             BTreeConfig::new(node_bytes, scale.cache_bytes),
@@ -622,7 +636,7 @@ pub fn write_amp(scale: &Scale) -> Vec<WriteAmpRow> {
         });
     }
     {
-        let device = SharedDevice::new(Box::new(HddDevice::new(profile.clone(), scale.seed)));
+        let device = crate::metrics::observe(Box::new(HddDevice::new(profile.clone(), scale.seed)));
         let mut tree = BeTree::bulk_load(
             device,
             BeTreeConfig::sqrt_fanout(node_bytes, entry, scale.cache_bytes),
@@ -673,7 +687,7 @@ pub fn lsm_sstable_size(scale: &Scale) -> Vec<LsmSizePoint> {
     let mut out = Vec::new();
     let mut sstable = 64 * 1024usize;
     while sstable <= 4 << 20 {
-        let device = SharedDevice::new(Box::new(HddDevice::new(
+        let device = crate::metrics::observe(Box::new(HddDevice::new(
             profile.clone(),
             scale.seed ^ sstable as u64,
         )));
@@ -773,7 +787,7 @@ pub fn wod_comparison(scale: &Scale) -> Vec<WodRow> {
     };
 
     {
-        let device = SharedDevice::new(Box::new(HddDevice::new(profile.clone(), scale.seed)));
+        let device = crate::metrics::observe(Box::new(HddDevice::new(profile.clone(), scale.seed)));
         let mut t = BTree::bulk_load(
             device,
             BTreeConfig::new(node, scale.cache_bytes),
@@ -783,7 +797,7 @@ pub fn wod_comparison(scale: &Scale) -> Vec<WodRow> {
         measure("B-tree (256 KiB nodes)", &mut t);
     }
     {
-        let device = SharedDevice::new(Box::new(HddDevice::new(profile.clone(), scale.seed)));
+        let device = crate::metrics::observe(Box::new(HddDevice::new(profile.clone(), scale.seed)));
         let mut t = BeTree::bulk_load(
             device,
             BeTreeConfig::sqrt_fanout(node, entry, scale.cache_bytes),
@@ -793,7 +807,7 @@ pub fn wod_comparison(scale: &Scale) -> Vec<WodRow> {
         measure("Bε-tree standard (256 KiB)", &mut t);
     }
     {
-        let device = SharedDevice::new(Box::new(HddDevice::new(profile.clone(), scale.seed)));
+        let device = crate::metrics::observe(Box::new(HddDevice::new(profile.clone(), scale.seed)));
         let mut t = OptBeTree::bulk_load(
             device,
             OptConfig::balanced(4 << 20, entry, scale.cache_bytes),
@@ -803,7 +817,7 @@ pub fn wod_comparison(scale: &Scale) -> Vec<WodRow> {
         measure("Bε-tree optimized (4 MiB)", &mut t);
     }
     {
-        let device = SharedDevice::new(Box::new(HddDevice::new(profile.clone(), scale.seed)));
+        let device = crate::metrics::observe(Box::new(HddDevice::new(profile.clone(), scale.seed)));
         let mut t = LsmTree::create(device, LsmConfig::new(2 << 20, scale.cache_bytes))
             .expect("create failed");
         let n = pairs.len() as u64;
@@ -868,7 +882,7 @@ pub fn aging(scale: &Scale) -> Vec<AgingRow> {
 
     let mut out = Vec::new();
     {
-        let device = SharedDevice::new(Box::new(HddDevice::new(profile.clone(), scale.seed)));
+        let device = crate::metrics::observe(Box::new(HddDevice::new(profile.clone(), scale.seed)));
         let mut tree = BTree::bulk_load(
             device,
             BTreeConfig::new(node_bytes, scale.cache_bytes),
@@ -883,7 +897,7 @@ pub fn aging(scale: &Scale) -> Vec<AgingRow> {
         });
     }
     {
-        let device = SharedDevice::new(Box::new(HddDevice::new(profile.clone(), scale.seed)));
+        let device = crate::metrics::observe(Box::new(HddDevice::new(profile.clone(), scale.seed)));
         let mut tree = BTree::create(device, BTreeConfig::new(node_bytes, scale.cache_bytes))
             .expect("create failed");
         // Random insertion order scatters leaves by split time, not key.
@@ -901,7 +915,7 @@ pub fn aging(scale: &Scale) -> Vec<AgingRow> {
         });
     }
     {
-        let device = SharedDevice::new(Box::new(HddDevice::new(profile.clone(), scale.seed)));
+        let device = crate::metrics::observe(Box::new(HddDevice::new(profile.clone(), scale.seed)));
         let mut tree = BTree::bulk_load(
             device,
             BTreeConfig::new(node_bytes, scale.cache_bytes),
@@ -950,7 +964,7 @@ pub fn oltp_olap(scale: &Scale) -> Vec<OltpOlapRow> {
     let mut out = Vec::new();
     let mut node_bytes = 8 * 1024usize;
     while node_bytes <= 4 << 20 {
-        let device = SharedDevice::new(Box::new(HddDevice::new(
+        let device = crate::metrics::observe(Box::new(HddDevice::new(
             profile.clone(),
             scale.seed ^ node_bytes as u64,
         )));
@@ -1016,7 +1030,7 @@ pub fn cache_skew(scale: &Scale) -> Vec<SkewRow> {
         ("zipfian(0.99)", KeyDistribution::Zipfian(0.99)),
         ("zipfian(1.2)", KeyDistribution::Zipfian(1.2)),
     ] {
-        let device = SharedDevice::new(Box::new(HddDevice::new(profile.clone(), scale.seed)));
+        let device = crate::metrics::observe(Box::new(HddDevice::new(profile.clone(), scale.seed)));
         let mut tree = BTree::bulk_load(
             device,
             BTreeConfig::new(64 * 1024, scale.cache_bytes),

@@ -6,9 +6,10 @@
 //! fixed seed, so results are bit-reproducible. Scale knobs live in
 //! [`Scale`]; the defaults keep every experiment laptop-sized while
 //! preserving the data-to-cache ratios that drive the paper's effects
-//! (see DESIGN.md §7).
+//! (see DESIGN.md §8).
 
 pub mod experiments;
+pub mod metrics;
 pub mod table;
 
 use serde::{Deserialize, Serialize};

@@ -1,0 +1,58 @@
+//! Opt-in observability for the experiment binaries.
+//!
+//! Set `DAM_METRICS=1` and every experiment device is wrapped in an
+//! [`ObservedDevice`], every measured dictionary in an [`ObservedDict`],
+//! and the binary writes a `BENCH_<name>.metrics.json` sidecar next to its
+//! table output (same schema as `dam-cli stats --json`; CI validates it
+//! against `schemas/metrics_schema.json`). Unset, all hooks are inert and
+//! the experiments run exactly as before.
+//!
+//! `DAM_METRICS_PROFILE` picks the model-residual pricing profile:
+//! `hdd` (default, the testbed Toshiba disk the experiments run on) or
+//! `ssd` (the Samsung 860 Pro).
+
+use refined_dam::obs::{ModelParams, Obs, ObservedDevice};
+use refined_dam::storage::{profiles, BlockDevice, SharedDevice};
+use std::sync::OnceLock;
+
+static OBS: OnceLock<Option<Obs>> = OnceLock::new();
+
+/// The process-wide registry, or `None` when `DAM_METRICS` is off.
+pub fn obs() -> Option<Obs> {
+    OBS.get_or_init(|| {
+        let enabled = std::env::var("DAM_METRICS").is_ok_and(|v| !v.is_empty() && v != "0");
+        if !enabled {
+            return None;
+        }
+        let params = match std::env::var("DAM_METRICS_PROFILE").as_deref() {
+            Ok("ssd") => ModelParams::from_ssd(&profiles::samsung_860_pro()),
+            _ => ModelParams::from_hdd(&profiles::toshiba_dt01aca050()),
+        };
+        Some(Obs::with_model(params))
+    })
+    .clone()
+}
+
+/// Wrap an experiment device: observed when metrics are on, plain
+/// otherwise. Drop-in for `SharedDevice::new(Box::new(...))`.
+pub fn observe(device: Box<dyn BlockDevice>) -> SharedDevice {
+    match obs() {
+        Some(o) => ObservedDevice::shared(device, o),
+        None => SharedDevice::new(device),
+    }
+}
+
+/// Write the snapshot sidecar for a finished experiment binary. No-op when
+/// metrics are off.
+pub fn export(name: &str) {
+    let Some(o) = obs() else { return };
+    let snap = o.snapshot();
+    if let Err(e) = snap.check_io_consistency() {
+        eprintln!("metrics consistency warning: {e}");
+    }
+    let path = format!("BENCH_{name}.metrics.json");
+    match std::fs::write(&path, snap.to_json()) {
+        Ok(()) => eprintln!("metrics sidecar written to {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}

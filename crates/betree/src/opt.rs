@@ -33,6 +33,7 @@ const OPT_SUPERBLOCK_VERSION: u8 = 1;
 use dam_kv::codec::{frame_into_slot, unframe, CodecError, Reader, Writer, FRAME_OVERHEAD};
 use dam_kv::msg::{replay, LastWriteWins, MergeOperator, Message, Operation};
 use dam_kv::{Dictionary, KvError, OpCost};
+use dam_obs::Obs;
 use dam_storage::SharedDevice;
 
 const TAG_EMPTY: u8 = 0;
@@ -248,6 +249,7 @@ pub struct OptBeTree {
     count: u64,
     next_seq: u64,
     last_cost: OpCost,
+    obs: Option<Obs>,
 }
 
 impl OptBeTree {
@@ -286,6 +288,7 @@ impl OptBeTree {
             count: 0,
             next_seq: 1,
             last_cost: OpCost::default(),
+            obs: None,
         };
         tree.write_whole(addr, &[Seg::Subleaf(Vec::new())])?;
         Ok(tree)
@@ -394,7 +397,15 @@ impl OptBeTree {
             count,
             next_seq,
             last_cost: OpCost::default(),
+            obs: None,
         })
+    }
+
+    /// Attach an observability registry: query descents open per-level
+    /// `optbetree.level` spans, flushes open `optbetree.drain` spans, and
+    /// every operation publishes the pager's cache counters.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = Some(obs);
     }
 
     /// Flush and empty the cache.
@@ -498,6 +509,7 @@ impl OptBeTree {
         if desc.msgs.is_empty() {
             return Ok(Vec::new());
         }
+        let _flush = self.obs.as_ref().map(|o| o.descend("optbetree.drain"));
         let msgs = std::mem::take(&mut desc.msgs);
         let mut segs = self.read_whole(desc.addr, desc.used())?;
         let groups = Self::partition(msgs, &desc.boundaries);
@@ -778,7 +790,13 @@ impl OptBeTree {
         let mut collected: Vec<Message> = Vec::new();
         collect(&mut collected, &self.root.msgs, key);
         let mut desc = self.root.clone();
+        let mut depth = 0u32;
         loop {
+            let _lvl = self
+                .obs
+                .as_ref()
+                .map(|o| o.span_at("optbetree.level", depth));
+            depth += 1;
             let j = desc.route(key);
             if desc.is_leaf {
                 let seg = self.read_seg(desc.addr, j)?;
@@ -809,6 +827,7 @@ impl OptBeTree {
         inherited: Vec<Message>,
         out: &mut Vec<(Vec<u8>, Vec<u8>)>,
     ) -> Result<(), KvError> {
+        let _lvl = self.obs.as_ref().map(|o| o.descend("optbetree.level"));
         // Pending messages for this subtree, restricted to the query range.
         let own: Vec<Message> = desc
             .msgs
@@ -1137,6 +1156,9 @@ impl OptBeTree {
             bytes_written: d.bytes_written,
             io_time_ns: d.io_time_ns,
         };
+        if let Some(o) = &self.obs {
+            o.record_pager(&self.pager.counters());
+        }
     }
 }
 

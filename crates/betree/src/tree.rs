@@ -13,6 +13,7 @@ const SUPERBLOCK_MAGIC: u32 = 0x4441_4D45; // "DAME"
 const SUPERBLOCK_VERSION: u8 = 1;
 use dam_kv::msg::{replay, LastWriteWins, MergeOperator, Message, Operation};
 use dam_kv::{Dictionary, KvError, OpCost};
+use dam_obs::Obs;
 use dam_storage::SharedDevice;
 
 /// Standard Bε-tree configuration.
@@ -69,6 +70,7 @@ pub struct BeTree {
     count: u64,
     next_seq: u64,
     last_cost: OpCost,
+    obs: Option<Obs>,
 }
 
 impl BeTree {
@@ -98,6 +100,7 @@ impl BeTree {
             count: 0,
             next_seq: 1,
             last_cost: OpCost::default(),
+            obs: None,
         };
         tree.write_node(root, &BeNode::empty_leaf())?;
         Ok(tree)
@@ -191,7 +194,15 @@ impl BeTree {
             count,
             next_seq,
             last_cost: OpCost::default(),
+            obs: None,
         })
+    }
+
+    /// Attach an observability registry: query descents open per-level
+    /// `betree.level` spans, buffer flushes open `betree.drain` spans, and
+    /// every operation publishes the pager's cache counters.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = Some(obs);
     }
 
     /// Flush and empty the cache.
@@ -394,6 +405,7 @@ impl BeTree {
         id: NodeId,
         msgs: Vec<Message>,
     ) -> Result<Vec<(Vec<u8>, NodeId)>, KvError> {
+        let _flush = self.obs.as_ref().map(|o| o.descend("betree.drain"));
         let mut node = self.read_node(id)?;
         match &mut node {
             BeNode::Leaf { entries } => {
@@ -557,7 +569,10 @@ impl BeTree {
     fn get_inner(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
         let mut collected: Vec<Message> = Vec::new();
         let mut id = self.root;
+        let mut depth = 0u32;
         loop {
+            let _lvl = self.obs.as_ref().map(|o| o.span_at("betree.level", depth));
+            depth += 1;
             let node = self.read_node(id)?;
             match node {
                 BeNode::Leaf { entries } => {
@@ -596,6 +611,7 @@ impl BeTree {
         inherited: Vec<Message>,
         out: &mut Vec<(Vec<u8>, Vec<u8>)>,
     ) -> Result<(), KvError> {
+        let _lvl = self.obs.as_ref().map(|o| o.descend("betree.level"));
         let node = self.read_node(id)?;
         match node {
             BeNode::Leaf { mut entries } => {
@@ -665,6 +681,7 @@ impl BeTree {
     }
 
     fn drain_rec(&mut self, id: NodeId) -> Result<Vec<(Vec<u8>, NodeId)>, KvError> {
+        let _flush = self.obs.as_ref().map(|o| o.descend("betree.drain"));
         let mut node = self.read_node(id)?;
         if node.is_leaf() {
             return Ok(vec![]);
@@ -938,6 +955,9 @@ impl BeTree {
             bytes_written: d.bytes_written,
             io_time_ns: d.io_time_ns,
         };
+        if let Some(o) = &self.obs {
+            o.record_pager(&self.pager.counters());
+        }
     }
 }
 

@@ -5,6 +5,7 @@ use crate::node::{Node, NodeId, LEAF_ENTRY_OVERHEAD, NODE_HEADER_BYTES};
 use dam_cache::{Pager, PagerError};
 use dam_kv::codec::{Reader, Writer};
 use dam_kv::{Dictionary, KvError, OpCost};
+use dam_obs::Obs;
 use dam_storage::SharedDevice;
 
 /// Bytes reserved at device offset 0 for the superblock.
@@ -50,6 +51,7 @@ pub struct BTree {
     height: u32,
     count: u64,
     last_cost: OpCost,
+    obs: Option<Obs>,
 }
 
 impl BTree {
@@ -73,6 +75,7 @@ impl BTree {
             height: 1,
             count: 0,
             last_cost: OpCost::default(),
+            obs: None,
         };
         tree.write_node(root, &Node::empty_leaf())?;
         Ok(tree)
@@ -159,7 +162,15 @@ impl BTree {
             height,
             count,
             last_cost: OpCost::default(),
+            obs: None,
         })
+    }
+
+    /// Attach an observability registry: each node visit during descent
+    /// opens a `btree.level` span (so per-level IO attribution works) and
+    /// every operation publishes the pager's cache counters.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = Some(obs);
     }
 
     /// The node size in use.
@@ -265,6 +276,7 @@ impl BTree {
         key: &[u8],
         value: &[u8],
     ) -> Result<(bool, Option<(Vec<u8>, NodeId)>), KvError> {
+        let _lvl = self.obs.as_ref().map(|o| o.descend("btree.level"));
         let mut node = self.read_node(id)?;
         match &mut node {
             Node::Leaf { entries } => {
@@ -356,6 +368,7 @@ impl BTree {
 
     /// Recursive delete. Returns `(removed, child_now_underfull)`.
     fn delete_rec(&mut self, id: NodeId, key: &[u8]) -> Result<(bool, bool), KvError> {
+        let _lvl = self.obs.as_ref().map(|o| o.descend("btree.level"));
         let mut node = self.read_node(id)?;
         match &mut node {
             Node::Leaf { entries } => {
@@ -524,6 +537,7 @@ impl BTree {
     // ------------------------------------------------------------------
 
     fn get_rec(&mut self, id: NodeId, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
+        let _lvl = self.obs.as_ref().map(|o| o.descend("btree.level"));
         let node = self.read_node(id)?;
         match node {
             Node::Leaf { entries } => Ok(entries
@@ -544,6 +558,7 @@ impl BTree {
         end: &[u8],
         out: &mut Vec<(Vec<u8>, Vec<u8>)>,
     ) -> Result<(), KvError> {
+        let _lvl = self.obs.as_ref().map(|o| o.descend("btree.level"));
         let node = self.read_node(id)?;
         match node {
             Node::Leaf { entries } => {
@@ -820,6 +835,9 @@ impl BTree {
             bytes_written: d.bytes_written,
             io_time_ns: d.io_time_ns,
         };
+        if let Some(o) = &self.obs {
+            o.record_pager(&self.pager.counters());
+        }
     }
 }
 

@@ -76,7 +76,13 @@ pub fn help() -> String {
      \x20                                      load a dictionary, measure per-op costs\n\
      \x20         structures: btree | betree | optbetree | lsm\n\
      \x20 experiment <name>                    regenerate a paper table/figure\n\
-     \x20 experiment list                      list experiment names\n"
+     \x20 experiment list                      list experiment names\n\
+     \x20 stats   --structure <s> --device <d> [--node-kb N] [--keys N] [--ops N]\n\
+     \x20         [--format json] [--fault-denom N]\n\
+     \x20                                      instrumented run: per-level IO, spans,\n\
+     \x20                                      latency percentiles, cache hit rate,\n\
+     \x20                                      read/write amp, model residuals\n\
+     \x20 check-metrics --snapshot <f> --schema <f>   validate a metrics snapshot\n"
         .to_string()
 }
 
@@ -465,6 +471,182 @@ pub fn experiment(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `damlab stats --structure <s> --device <d> [--format json] [--fault-denom N]`.
+///
+/// Runs a short instrumented workload through the full observability stack
+/// (`ObservedDevice ▸ RetryingDevice ▸ FaultInjector ▸ device`, the tree's
+/// per-level spans, an [`ObservedDict`] wrapper) and renders the metrics
+/// snapshot: per-level IO, span aggregates, latency percentiles, cache hit
+/// rate, read/write amplification, and DAM/affine/PDAM residual ratios.
+pub fn stats(args: &Args) -> Result<String, CliError> {
+    use refined_dam::obs::{ModelParams, Obs, ObservedDevice, ObservedDict};
+    use refined_dam::storage::{FaultInjector, FaultMode, RetryPolicy, RetryingDevice};
+
+    let structure = args.require("structure")?.to_string();
+    let device_name = args.require("device")?;
+    let node_kb = args.get_u64("node-kb", 256)?;
+    let keys = args.get_u64("keys", 50_000)?;
+    let ops = args.get_u64("ops", 200)?;
+    let cache_mb = args.get_u64("cache-mb", 4)?;
+    let seed = args.get_u64("seed", 0xDA4)?;
+    let json = match args.get("format") {
+        None | Some("table") => false,
+        Some("json") => true,
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "unknown --format '{other}' (table | json)"
+            )))
+        }
+    };
+
+    // Model parameters and the raw device, from the same profile.
+    let (params, raw): (ModelParams, Box<dyn BlockDevice>) = match find_device(device_name)? {
+        Device::Hdd(p) => (ModelParams::from_hdd(&p), Box::new(HddDevice::new(p, seed))),
+        Device::Ssd(p) => (ModelParams::from_ssd(&p), Box::new(SsdDevice::new(p))),
+    };
+    let obs = Obs::with_model(params);
+
+    // Canonical stack: the observer outermost, so injector attempts =
+    // observed successes + retries + surfaced errors.
+    let (injector, switch) = FaultInjector::new(raw);
+    if let Some(denom) = args.get_f64("fault-denom")? {
+        if denom < 1.0 {
+            return Err(CliError::Usage("--fault-denom must be >= 1".into()));
+        }
+        switch.set(FaultMode::Probabilistic {
+            num: 1,
+            denom: denom as u32,
+            seed,
+        });
+    }
+    let (retrying, retry_handle) = RetryingDevice::new(injector, RetryPolicy::default());
+    let device = ObservedDevice::shared(Box::new(retrying), obs.clone());
+
+    let node_bytes = (node_kb * 1024) as usize;
+    let cache = cache_mb << 20;
+    let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..keys)
+        .map(|i| {
+            (
+                refined_dam::kv::key_from_u64(2 * i).to_vec(),
+                vec![(i % 251) as u8; 100],
+            )
+        })
+        .collect();
+
+    let map_err = |e: KvError| CliError::Runtime(e.to_string());
+    let mut dict: Box<dyn Dictionary> = match structure.as_str() {
+        "btree" => {
+            let mut t = BTree::bulk_load(device, BTreeConfig::new(node_bytes, cache), pairs)
+                .map_err(map_err)?;
+            t.set_obs(obs.clone());
+            Box::new(t)
+        }
+        "betree" => {
+            let mut t = BeTree::bulk_load(
+                device,
+                BeTreeConfig::sqrt_fanout(node_bytes, 124, cache),
+                pairs,
+            )
+            .map_err(map_err)?;
+            t.set_obs(obs.clone());
+            Box::new(t)
+        }
+        "optbetree" => {
+            let mut t =
+                OptBeTree::bulk_load(device, OptConfig::balanced(node_bytes, 124, cache), pairs)
+                    .map_err(map_err)?;
+            t.set_obs(obs.clone());
+            Box::new(t)
+        }
+        "lsm" => {
+            let mut t =
+                LsmTree::create(device, LsmConfig::new(node_bytes, cache)).map_err(map_err)?;
+            let n = pairs.len() as u64;
+            let stride = 982_451_653u64;
+            for j in 0..n {
+                let (k, v) = &pairs[((j.wrapping_mul(stride)) % n) as usize];
+                t.insert(k, v).map_err(map_err)?;
+            }
+            t.sync().map_err(map_err)?;
+            t.set_obs(obs.clone());
+            Box::new(t)
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown structure '{other}' (btree | betree | optbetree | lsm)"
+            )))
+        }
+    };
+
+    // Mixed measured phase: point queries over preloaded (even) keys,
+    // inserts of fresh (odd) keys, a few short scans, one sync.
+    {
+        let mut od = ObservedDict::new(dict.as_mut(), &structure, obs.clone());
+        let mut gen = WorkloadGen::new(WorkloadConfig::uniform(keys.max(1), seed ^ 0xF00D));
+        for _ in 0..ops {
+            let idx = 2 * gen.next_index();
+            od.get(&refined_dam::kv::key_from_u64(idx))
+                .map_err(map_err)?;
+        }
+        for _ in 0..ops {
+            let idx = 2 * gen.next_index() + 1;
+            od.insert(&refined_dam::kv::key_from_u64(idx), &gen.value_for(idx))
+                .map_err(map_err)?;
+        }
+        for _ in 0..(ops / 20).max(1) {
+            let lo = 2 * gen.next_index();
+            od.range(
+                &refined_dam::kv::key_from_u64(lo),
+                &refined_dam::kv::key_from_u64(lo + 64),
+            )
+            .map_err(map_err)?;
+        }
+        od.sync().map_err(map_err)?;
+    }
+
+    // Fold in the stack's own counters, then snapshot.
+    obs.record_fault_stats(&switch.stats());
+    obs.record_retry_stats(&retry_handle.stats());
+    let snap = obs.snapshot();
+    let consistency = match snap.check_io_consistency() {
+        Ok(()) => "IO accounting: consistent across the device stack".to_string(),
+        Err(e) => format!("IO accounting: INCONSISTENT — {e}"),
+    };
+    if json {
+        Ok(format!("{}\n", snap.to_json()))
+    } else {
+        Ok(format!(
+            "{structure} on {device_name}: {keys} preloaded keys, {ops} ops/phase, \
+             {node_kb} KiB nodes, {cache_mb} MiB cache\n\n{}\n{consistency}\n",
+            snap.render_table()
+        ))
+    }
+}
+
+/// `damlab check-metrics --snapshot <file> --schema <file>`.
+///
+/// Validates an exported metrics snapshot (from `stats --format json` or a
+/// `BENCH_*.metrics.json` sidecar) against a schema listing required keys.
+/// CI runs this after a metrics-enabled bench binary.
+pub fn check_metrics(args: &Args) -> Result<String, CliError> {
+    let snapshot_path = args.require("snapshot")?;
+    let schema_path = args.require("schema")?;
+    let read = |p: &str| {
+        std::fs::read_to_string(p).map_err(|e| CliError::Runtime(format!("cannot read {p}: {e}")))
+    };
+    let snapshot = read(snapshot_path)?;
+    let schema = read(schema_path)?;
+    refined_dam::obs::validate_snapshot_json(&snapshot, &schema).map_err(|missing| {
+        CliError::Runtime(format!(
+            "snapshot {snapshot_path} is missing required keys: {}",
+            missing.join(", ")
+        ))
+    })?;
+    Ok(format!(
+        "snapshot {snapshot_path} OK: every key required by {schema_path} is present\n"
+    ))
+}
+
 fn rows_node_size(rows: &[experiments::NodeSizePoint]) -> String {
     let mut s = String::new();
     for r in rows {
@@ -571,5 +753,102 @@ mod tests {
     fn experiment_table3_runs() {
         let out = run("experiment table3").unwrap();
         assert!(out.contains("growth"), "{out}");
+    }
+
+    #[test]
+    fn stats_all_structures_render_every_section() {
+        for s in ["btree", "betree", "optbetree", "lsm"] {
+            let out = run(&format!(
+                "stats --structure {s} --device toshiba-dt01aca050 --keys 20000 --ops 40 --node-kb 64 --cache-mb 1"
+            ))
+            .unwrap();
+            for section in [
+                "== device IO ==",
+                "== per-level IO ==",
+                "== spans ==",
+                "== latency percentiles (ms) ==",
+                "== cache & derived ==",
+                "== model residuals (measured / predicted) ==",
+            ] {
+                assert!(out.contains(section), "{s} missing {section}: {out}");
+            }
+            assert!(out.contains("IO accounting: consistent"), "{s}: {out}");
+        }
+    }
+
+    #[test]
+    fn stats_json_is_schema_valid() {
+        let out = run(
+            "stats --structure btree --device samsung-860-pro --keys 20000 --ops 40 \
+             --node-kb 64 --cache-mb 1 --format json",
+        )
+        .unwrap();
+        assert!(out.contains("\"residual\":"), "{out}");
+        let schema = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../schemas/metrics_schema.json"
+        ))
+        .unwrap();
+        refined_dam::obs::validate_snapshot_json(&out, &schema)
+            .unwrap_or_else(|missing| panic!("missing keys: {missing:?}"));
+    }
+
+    #[test]
+    fn stats_with_faults_keeps_accounting_consistent() {
+        let out = run(
+            "stats --structure btree --device toshiba-dt01aca050 --keys 20000 --ops 40 \
+             --node-kb 64 --cache-mb 1 --fault-denom 50",
+        )
+        .unwrap();
+        assert!(out.contains("IO accounting: consistent"), "{out}");
+        assert!(out.contains("retries"), "{out}");
+    }
+
+    #[test]
+    fn stats_bad_flags_error() {
+        assert!(matches!(
+            run("stats --structure skiplist --device toshiba-dt01aca050"),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run("stats --structure btree --device toshiba-dt01aca050 --format yaml"),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn check_metrics_happy_and_missing_key_paths() {
+        let dir = std::env::temp_dir().join("damlab-check-metrics-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("snap.json");
+        let schema = dir.join("schema.json");
+        std::fs::write(&snap, "{\"counters\":{},\"derived\":{}}").unwrap();
+        std::fs::write(&schema, "{\"required_keys\": [\"counters\", \"derived\"]}").unwrap();
+        let ok = run(&format!(
+            "check-metrics --snapshot {} --schema {}",
+            snap.display(),
+            schema.display()
+        ))
+        .unwrap();
+        assert!(ok.contains("OK"), "{ok}");
+
+        std::fs::write(
+            &schema,
+            "{\"required_keys\": [\"counters\", \"no_such_key\"]}",
+        )
+        .unwrap();
+        let err = run(&format!(
+            "check-metrics --snapshot {} --schema {}",
+            snap.display(),
+            schema.display()
+        ));
+        match err {
+            Err(CliError::Runtime(m)) => assert!(m.contains("no_such_key"), "{m}"),
+            other => panic!("expected runtime error, got {other:?}"),
+        }
+        assert!(matches!(
+            run("check-metrics --snapshot /no/such/file --schema /no/such/schema"),
+            Err(CliError::Runtime(_))
+        ));
     }
 }

@@ -12,7 +12,13 @@
 //!   [--node-kb N] [--keys N] [--ops N]` — load a dictionary and measure
 //!   per-op costs,
 //! * `damlab experiment <name>` — regenerate a paper table/figure
-//!   (`table1`, `table2`, `fig2`, … — see `damlab experiment list`).
+//!   (`table1`, `table2`, `fig2`, … — see `damlab experiment list`),
+//! * `damlab stats --structure <s> --device <name> [--format json]` — run an
+//!   instrumented workload and render the observability snapshot: per-level
+//!   IO, span tallies, latency percentiles, cache hit rate, read/write
+//!   amplification, and DAM/affine/PDAM model residuals,
+//! * `damlab check-metrics --snapshot <file> --schema <file>` — validate an
+//!   exported snapshot against `schemas/metrics_schema.json`.
 //!
 //! The argument parser is deliberately dependency-free; see [`args`].
 
@@ -30,6 +36,8 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "tune" => commands::tune(&args),
         "run" => commands::run_workload(&args),
         "experiment" => commands::experiment(&args),
+        "stats" => commands::stats(&args),
+        "check-metrics" => commands::check_metrics(&args),
         "help" | "" => Ok(commands::help()),
         other => Err(CliError::Usage(format!(
             "unknown command '{other}'; try 'damlab help'"

@@ -46,6 +46,7 @@ pub use dam_cache as cache;
 pub use dam_kv as kv;
 pub use dam_lsm as lsm;
 pub use dam_models as models;
+pub use dam_obs as obs;
 pub use dam_stats as stats;
 pub use dam_storage as storage;
 pub use dam_veb as veb;
@@ -62,6 +63,7 @@ pub mod prelude {
     pub use dam_kv::{Dictionary, KvError, OpCost, WorkloadConfig, WorkloadGen};
     pub use dam_lsm::{LsmConfig, LsmTree};
     pub use dam_models::{Affine, Dam, DictShape, Pdam};
+    pub use dam_obs::{MetricsSnapshot, ModelParams, Obs, ObservedDevice, ObservedDict};
     pub use dam_storage::{
         run_closed_loop, BlockDevice, ClosedLoopConfig, HddDevice, RamDisk, SharedDevice,
         SimDuration, SimTime, SsdDevice,

@@ -96,6 +96,43 @@ pub trait Dictionary {
     }
 }
 
+/// Mutable references are dictionaries too, so instrumentation wrappers can
+/// decorate a borrowed tree (including `&mut dyn Dictionary` trait objects)
+/// without taking ownership.
+impl<T: Dictionary + ?Sized> Dictionary for &mut T {
+    fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<(), KvError> {
+        (**self).insert(key, value)
+    }
+
+    fn delete(&mut self, key: &[u8]) -> Result<(), KvError> {
+        (**self).delete(key)
+    }
+
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
+        (**self).get(key)
+    }
+
+    fn range(&mut self, start: &[u8], end: &[u8]) -> Result<Vec<KvPair>, KvError> {
+        (**self).range(start, end)
+    }
+
+    fn last_op_cost(&self) -> OpCost {
+        (**self).last_op_cost()
+    }
+
+    fn sync(&mut self) -> Result<(), KvError> {
+        (**self).sync()
+    }
+
+    fn len(&mut self) -> Result<u64, KvError> {
+        (**self).len()
+    }
+
+    fn is_empty(&mut self) -> Result<bool, KvError> {
+        (**self).is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,6 +5,7 @@ use crate::sstable::{BlockMeta, RunEntry, SsTable};
 use dam_cache::{Pager, PagerError};
 use dam_kv::codec::{frame, unframe, CodecError, Reader, Writer, FRAME_OVERHEAD};
 use dam_kv::{Dictionary, KvError, OpCost};
+use dam_obs::Obs;
 use dam_storage::{SharedDevice, SimTime};
 use std::collections::BTreeMap;
 
@@ -63,6 +64,7 @@ pub struct LsmTree {
     levels: Vec<Vec<SsTable>>,
     next_stamp: u64,
     last_cost: OpCost,
+    obs: Option<Obs>,
 }
 
 fn encode_tables(w: &mut Writer, tables: &[SsTable]) {
@@ -151,6 +153,7 @@ impl LsmTree {
             levels: Vec::new(),
             next_stamp: 1,
             last_cost: OpCost::default(),
+            obs: None,
         })
     }
 
@@ -207,7 +210,15 @@ impl LsmTree {
             levels,
             next_stamp,
             last_cost: OpCost::default(),
+            obs: None,
         })
+    }
+
+    /// Attach an observability registry: point reads open per-level spans
+    /// (`lsm.l0` at level 0, `lsm.level` below), flush/compaction work is
+    /// spanned, and every operation publishes the pager's cache counters.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = Some(obs);
     }
 
     /// Flush the memtable and dirty pages, then durably write the manifest.
@@ -313,6 +324,7 @@ impl LsmTree {
     /// durably written, so a device fault mid-flush loses nothing — the
     /// caller can retry once the fault clears.
     pub fn flush_memtable(&mut self) -> Result<(), KvError> {
+        let _span = self.obs.as_ref().map(|o| o.span("lsm.flush"));
         if !self.mem.is_empty() {
             let entries: Vec<RunEntry> = self
                 .mem
@@ -400,6 +412,7 @@ impl LsmTree {
         if self.l0.is_empty() {
             return Ok(());
         }
+        let _span = self.obs.as_ref().map(|o| o.span_at("lsm.compact", 0));
         if self.levels.is_empty() {
             self.levels.push(Vec::new());
         }
@@ -466,6 +479,11 @@ impl LsmTree {
     /// Push one table per round from `levels[idx]` down while the level is
     /// over budget.
     fn maybe_compact_level(&mut self, idx: usize) -> Result<(), KvError> {
+        let _span = self
+            .obs
+            .as_ref()
+            .filter(|_| self.level_bytes(idx) > self.level_budget(idx))
+            .map(|o| o.span_at("lsm.compact", idx as u32 + 1));
         while self.level_bytes(idx) > self.level_budget(idx) {
             if self.levels.len() <= idx + 1 {
                 self.levels.push(Vec::new());
@@ -525,6 +543,7 @@ impl LsmTree {
         // L0: newest run wins.
         for i in (0..self.l0.len()).rev() {
             let t = self.l0[i].clone();
+            let _lvl = self.obs.as_ref().map(|o| o.span_at("lsm.l0", 0));
             if let Some(v) = t.get(&mut self.pager, key)? {
                 return Ok(v);
             }
@@ -539,6 +558,10 @@ impl LsmTree {
                 }
                 level[i - 1].clone()
             };
+            let _lvl = self
+                .obs
+                .as_ref()
+                .map(|o| o.span_at("lsm.level", li as u32 + 1));
             if let Some(v) = cand.get(&mut self.pager, key)? {
                 return Ok(v);
             }
@@ -616,6 +639,9 @@ impl LsmTree {
             bytes_written: d.bytes_written,
             io_time_ns: d.io_time_ns,
         };
+        if let Some(o) = &self.obs {
+            o.record_pager(&self.pager.counters());
+        }
     }
 }
 

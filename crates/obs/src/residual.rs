@@ -1,0 +1,203 @@
+//! Model-residual telemetry: price every observed IO under the DAM,
+//! affine, and PDAM models and compare against the realized simulated time.
+//!
+//! This is the paper's Table 1/2 validation turned into a continuously
+//! maintained metric: with parameters fitted from the device profile, the
+//! predicted cost of the realized IO sequence should track the measured
+//! cost with a ratio near 1. A drifting ratio means either the device
+//! simulation or the model assumption broke.
+
+use dam_models::{Affine, Dam};
+use dam_storage::{HddProfile, SsdProfile};
+
+/// Block size the DAM/PDAM channels price with — the paper's benchmark IO
+/// size (§4.1), also the default half-bandwidth ballpark for both device
+/// classes.
+pub const DEFAULT_BLOCK_BYTES: u64 = 64 * 1024;
+
+/// Model parameters the residual channel prices with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelParams {
+    /// Profile name, for reporting.
+    pub profile: String,
+    /// Affine setup time `s` in seconds (per-IO fixed cost).
+    pub setup_s: f64,
+    /// Affine marginal cost `α` per byte (in setup units).
+    pub alpha_per_byte: f64,
+    /// DAM/PDAM block size in bytes.
+    pub block_bytes: u64,
+    /// PDAM parallelism `P` (fractional, like Table 1's fitted values).
+    pub pdam_p: f64,
+    /// Seconds one PDAM time step takes — the realized latency of one
+    /// block-sized IO on the profiled device.
+    pub step_s: f64,
+}
+
+impl ModelParams {
+    /// Parameters for a mechanical disk: affine `(s, α)` from the seek /
+    /// transfer expectations, PDAM degenerate at `P = 1`.
+    pub fn from_hdd(p: &HddProfile) -> Self {
+        let setup_s = p.expected_setup_s();
+        let alpha = p.alpha_per_byte();
+        let b = DEFAULT_BLOCK_BYTES;
+        ModelParams {
+            profile: p.name.clone(),
+            setup_s,
+            alpha_per_byte: alpha,
+            block_bytes: b,
+            pdam_p: 1.0,
+            step_s: (1.0 + alpha * b as f64) * setup_s,
+        }
+    }
+
+    /// Parameters for a flash device: the command latency curve
+    /// `t(b) = read_us + pages·array_us + b/bus` *is* affine, so `s` is the
+    /// command overhead and `α` the marginal per-byte time in setup units;
+    /// `P` is the profile's effective parallelism at the block size.
+    pub fn from_ssd(p: &SsdProfile) -> Self {
+        let b = DEFAULT_BLOCK_BYTES;
+        let setup_s = p.read_us * 1e-6;
+        let alpha =
+            (p.array_us_per_page * 1e-6 / p.page_bytes as f64 + 1.0 / p.bus_bytes_per_s) / setup_s;
+        ModelParams {
+            profile: p.name.clone(),
+            setup_s,
+            alpha_per_byte: alpha,
+            block_bytes: b,
+            pdam_p: p.effective_p(b),
+            step_s: p.read_latency_s(b),
+        }
+    }
+
+    /// Affine-predicted seconds for one IO of `bytes`.
+    pub fn affine_s(&self, bytes: u64) -> f64 {
+        Affine::new(self.alpha_per_byte).io_seconds(bytes as f64, self.setup_s)
+    }
+
+    /// DAM-predicted block IOs for one IO of `bytes`.
+    pub fn dam_ios(&self, bytes: u64) -> f64 {
+        Dam::new(self.block_bytes as f64).io_count(bytes as f64)
+    }
+
+    /// DAM-predicted seconds: block count times the realized block latency.
+    pub fn dam_s(&self, bytes: u64) -> f64 {
+        self.dam_ios(bytes) * self.step_s
+    }
+
+    /// PDAM-predicted time steps for one IO of `bytes` issued by a single
+    /// client: the device fetches up to `P` blocks of the command in
+    /// parallel per step.
+    pub fn pdam_steps(&self, bytes: u64) -> f64 {
+        (self.dam_ios(bytes) / self.pdam_p).ceil().max(1.0)
+    }
+
+    /// PDAM-predicted seconds.
+    pub fn pdam_s(&self, bytes: u64) -> f64 {
+        self.pdam_steps(bytes) * self.step_s
+    }
+}
+
+/// Running totals of measured and model-predicted cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct ResidualAcc {
+    pub ios: u64,
+    pub measured_ns: u128,
+    pub affine_s: f64,
+    pub dam_ios: f64,
+    pub dam_s: f64,
+    pub pdam_steps: f64,
+    pub pdam_s: f64,
+}
+
+impl ResidualAcc {
+    pub fn record(&mut self, m: &ModelParams, bytes: u64, latency_ns: u64) {
+        self.ios += 1;
+        self.measured_ns += latency_ns as u128;
+        self.affine_s += m.affine_s(bytes);
+        self.dam_ios += m.dam_ios(bytes);
+        self.dam_s += m.dam_s(bytes);
+        self.pdam_steps += m.pdam_steps(bytes);
+        self.pdam_s += m.pdam_s(bytes);
+    }
+}
+
+/// Measured-vs-predicted report, included in the snapshot when model
+/// parameters are installed and at least one IO was observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidualReport {
+    /// Profile the parameters were fitted from.
+    pub profile: String,
+    /// IOs priced.
+    pub ios: u64,
+    /// Realized simulated seconds spent in those IOs.
+    pub measured_s: f64,
+    /// Affine-predicted seconds.
+    pub affine_s: f64,
+    /// DAM-predicted block IOs.
+    pub dam_ios: f64,
+    /// DAM-predicted seconds.
+    pub dam_s: f64,
+    /// PDAM-predicted time steps.
+    pub pdam_steps: f64,
+    /// PDAM-predicted seconds.
+    pub pdam_s: f64,
+    /// `measured / affine` (0 when the prediction is empty).
+    pub ratio_affine: f64,
+    /// `measured / dam`.
+    pub ratio_dam: f64,
+    /// `measured / pdam`.
+    pub ratio_pdam: f64,
+}
+
+impl ResidualReport {
+    pub(crate) fn from_acc(profile: &str, acc: &ResidualAcc) -> Option<Self> {
+        if acc.ios == 0 {
+            return None;
+        }
+        let measured_s = acc.measured_ns as f64 * 1e-9;
+        let ratio = |pred: f64| if pred > 0.0 { measured_s / pred } else { 0.0 };
+        Some(ResidualReport {
+            profile: profile.to_string(),
+            ios: acc.ios,
+            measured_s,
+            affine_s: acc.affine_s,
+            dam_ios: acc.dam_ios,
+            dam_s: acc.dam_s,
+            pdam_steps: acc.pdam_steps,
+            pdam_s: acc.pdam_s,
+            ratio_affine: ratio(acc.affine_s),
+            ratio_dam: ratio(acc.dam_s),
+            ratio_pdam: ratio(acc.pdam_s),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dam_storage::profiles;
+
+    #[test]
+    fn hdd_params_price_a_block_consistently() {
+        let m = ModelParams::from_hdd(&profiles::toshiba_dt01aca050());
+        let b = DEFAULT_BLOCK_BYTES;
+        // One block costs one DAM IO and one PDAM step at P = 1, and the
+        // step time equals the affine prediction for a block.
+        assert_eq!(m.dam_ios(b), 1.0);
+        assert_eq!(m.pdam_steps(b), 1.0);
+        assert!((m.dam_s(b) - m.affine_s(b)).abs() / m.affine_s(b) < 1e-12);
+    }
+
+    #[test]
+    fn ssd_params_reproduce_the_profile_latency_curve() {
+        let p = profiles::samsung_860_pro();
+        let m = ModelParams::from_ssd(&p);
+        for bytes in [4096u64, 16384, 65536] {
+            let affine = m.affine_s(bytes);
+            let profile = p.read_latency_s(bytes);
+            let err = (affine - profile).abs() / profile;
+            assert!(err < 0.05, "{bytes}: affine {affine} vs profile {profile}");
+        }
+        assert!(m.pdam_p > 1.0);
+    }
+}

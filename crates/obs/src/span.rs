@@ -1,0 +1,73 @@
+//! Span guards and finished span trees.
+
+use crate::registry::{IoTally, Obs};
+
+/// RAII guard for an open span; closing happens on drop.
+///
+/// Spans close in LIFO order. If an outer guard drops while inner guards
+/// are still alive (abnormal unwind paths), the registry force-closes the
+/// whole subtree so attribution never leaks across operations.
+pub struct SpanGuard {
+    pub(crate) obs: Obs,
+    pub(crate) token: usize,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.obs.close_span(self.token);
+    }
+}
+
+/// A finished span and its children, as kept for the most recent root
+/// operation ([`Obs::last_root`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Span name, e.g. `"betree.get"` or `"btree.level"`.
+    pub name: String,
+    /// Tree level this span descends into, when it is a level span.
+    pub level: Option<u32>,
+    /// IO attributed directly to this span (not to children).
+    pub own: IoTally,
+    /// IO attributed to this span's whole subtree.
+    pub cum: IoTally,
+    /// Finished child spans, in completion order (bounded; see
+    /// `dropped_children`).
+    pub children: Vec<SpanNode>,
+    /// Children discarded beyond the per-span cap (tallies still folded
+    /// into `cum`).
+    pub dropped_children: u64,
+}
+
+impl SpanNode {
+    /// Render the span tree as an indented multi-line string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        let indent = "  ".repeat(depth);
+        let lvl = match self.level {
+            Some(l) => format!(" [L{l}]"),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "{indent}{}{lvl}: {} ios, {} B read, {} B written, {:.3} ms\n",
+            self.name,
+            self.cum.ios,
+            self.cum.bytes_read,
+            self.cum.bytes_written,
+            self.cum.time_ns as f64 / 1e6,
+        ));
+        for c in &self.children {
+            c.render_into(out, depth + 1);
+        }
+        if self.dropped_children > 0 {
+            out.push_str(&format!(
+                "{indent}  … {} more children (folded into totals)\n",
+                self.dropped_children
+            ));
+        }
+    }
+}

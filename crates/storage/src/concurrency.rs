@@ -10,6 +10,7 @@
 
 use crate::clock::{SimDuration, SimTime};
 use crate::device::{BlockDevice, IoError};
+use crate::hist::LatencyHist;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -60,6 +61,13 @@ pub struct ClosedLoopResult {
     pub throughput_bytes_s: f64,
     /// Mean per-IO latency across all clients (seconds).
     pub mean_latency_s: f64,
+    /// Median per-IO latency (seconds, log-bucketed histogram estimate).
+    pub p50_latency_s: f64,
+    /// 99th-percentile per-IO latency (seconds, histogram estimate).
+    pub p99_latency_s: f64,
+    /// Full per-IO latency distribution, for callers needing other
+    /// quantiles or wanting to merge runs.
+    pub latency_hist: LatencyHist,
 }
 
 /// Run a closed-loop workload against a device.
@@ -85,6 +93,7 @@ pub fn run_closed_loop(
     let mut buf = vec![0u8; cfg.io_bytes as usize];
     let mut latency_total = 0.0f64;
     let mut ios_total = 0u64;
+    let mut hist = LatencyHist::new();
 
     // Heap of (next issue time, client). Reverse for a min-heap; client id
     // breaks ties deterministically.
@@ -101,7 +110,9 @@ pub fn run_closed_loop(
         } else {
             device.read(offset, &mut buf, now)?
         };
-        latency_total += (completion.complete - now).as_secs_f64();
+        let latency = completion.complete - now;
+        latency_total += latency.as_secs_f64();
+        hist.record(latency);
         ios_total += 1;
         remaining[client] -= 1;
         if remaining[client] == 0 {
@@ -129,6 +140,9 @@ pub fn run_closed_loop(
         } else {
             0.0
         },
+        p50_latency_s: hist.quantile_ns(0.50) as f64 * 1e-9,
+        p99_latency_s: hist.quantile_ns(0.99) as f64 * 1e-9,
+        latency_hist: hist,
     })
 }
 
@@ -146,6 +160,26 @@ mod tests {
         assert_eq!(r.makespan, SimDuration(100_000));
         assert_eq!(r.total_bytes, 100 * 4096);
         assert!((r.mean_latency_s - 1e-6).abs() < 1e-12);
+        // Every IO takes exactly 1µs, so the histogram's range clamp makes
+        // the percentiles exact.
+        assert!((r.p50_latency_s - 1e-6).abs() < 1e-12);
+        assert!((r.p99_latency_s - 1e-6).abs() < 1e-12);
+        assert_eq!(r.latency_hist.count(), 100);
+    }
+
+    #[test]
+    fn percentiles_order_and_bound_the_mean() {
+        let profile = SsdProfile::from_pdam_targets("t", 1 << 28, 4.0, 400.0);
+        let mut d = SsdDevice::new(profile);
+        let cfg = ClosedLoopConfig::random_reads(8, 100, 64 * 1024, 11);
+        let r = run_closed_loop(&mut d, &cfg).unwrap();
+        assert!(r.p50_latency_s > 0.0);
+        assert!(r.p50_latency_s <= r.p99_latency_s);
+        assert!(r.p99_latency_s <= r.latency_hist.max_ns() as f64 * 1e-9 + 1e-12);
+        // With queueing the distribution is skewed: the mean sits between
+        // the median and the tail.
+        assert!(r.mean_latency_s >= 0.8 * r.p50_latency_s);
+        assert!(r.mean_latency_s <= r.p99_latency_s);
     }
 
     #[test]

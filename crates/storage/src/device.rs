@@ -148,6 +148,32 @@ pub trait BlockDevice: Send {
     }
 }
 
+impl BlockDevice for Box<dyn BlockDevice> {
+    fn capacity_bytes(&self) -> u64 {
+        (**self).capacity_bytes()
+    }
+
+    fn read(&mut self, offset: u64, buf: &mut [u8], now: SimTime) -> Result<IoCompletion, IoError> {
+        (**self).read(offset, buf, now)
+    }
+
+    fn write(&mut self, offset: u64, data: &[u8], now: SimTime) -> Result<IoCompletion, IoError> {
+        (**self).write(offset, data, now)
+    }
+
+    fn stats(&self) -> DeviceStats {
+        (**self).stats()
+    }
+
+    fn reset_stats(&mut self) {
+        (**self).reset_stats()
+    }
+
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
 /// Thread-safe handle around a [`BlockDevice`], cloneable across simulated
 /// clients. Lock scope is a single IO, which matches the serialization the
 /// device's internal `next_free` bookkeeping needs.

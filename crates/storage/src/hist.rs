@@ -1,0 +1,232 @@
+//! Log-bucketed latency histogram on the simulated clock.
+//!
+//! Metrics in this workspace must be deterministic: two identical runs have
+//! to produce byte-identical snapshots, so the histogram is keyed on
+//! [`SimDuration`] nanoseconds (never wall-clock) and uses only integer
+//! arithmetic. Buckets are log-linear — four linear sub-buckets per power
+//! of two — which keeps any reported quantile within ~12.5% of the true
+//! value while the whole structure stays a fixed 256-slot array. This is
+//! the per-IO-latency-distribution methodology (p50/p90/p99, not just
+//! means) that the multi-queue SSD modeling literature argues for.
+
+use crate::clock::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Linear sub-buckets per octave = `1 << SUB_BITS`.
+const SUB_BITS: u32 = 2;
+const SUBS: usize = 1 << SUB_BITS;
+/// Enough buckets to cover the full `u64` nanosecond range.
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUBS;
+
+/// A deterministic log-bucketed histogram of nanosecond durations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHist {
+    counts: Vec<u64>,
+    count: u64,
+    total_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        LatencyHist {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+}
+
+/// Index of the bucket holding `v`.
+fn bucket_of(v: u64) -> usize {
+    if v < SUBS as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let sub = ((v >> (msb - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+    (msb - SUB_BITS + 1) as usize * SUBS + sub
+}
+
+/// Midpoint value represented by bucket `idx` (exact for idx < SUBS).
+fn bucket_value(idx: usize) -> u64 {
+    if idx < SUBS {
+        return idx as u64;
+    }
+    let octave = (idx / SUBS) as u32;
+    let sub = (idx % SUBS) as u64;
+    let msb = octave + SUB_BITS - 1;
+    let lo = (1u64 << msb) + (sub << (msb - SUB_BITS));
+    lo + (1u64 << (msb - SUB_BITS)) / 2
+}
+
+impl LatencyHist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one duration.
+    pub fn record(&mut self, d: SimDuration) {
+        self.record_ns(d.0);
+    }
+
+    /// Record one duration given in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.counts[bucket_of(ns)] += 1;
+        self.count += 1;
+        self.total_ns += ns as u128;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Largest recorded value (exact, 0 when empty).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Mean of the recorded values (exact, 0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.total_ns / self.count as u128) as u64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`), within one bucket of exact.
+    ///
+    /// Returns the representative value of the bucket holding the sample of
+    /// rank `ceil(q · count)`, clamped to the observed `[min, max]` so the
+    /// tails are never reported outside the measured range.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_value(idx).clamp(self.min_ns, self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHist) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_self_consistent() {
+        let mut values: Vec<u64> = Vec::new();
+        for shift in 0..63u32 {
+            let lo = 1u64 << shift;
+            values.extend([lo, lo + 1, lo + (lo - 1) / 2, (lo << 1) - 1]);
+        }
+        values.sort_unstable();
+        values.dedup();
+        let mut last = 0usize;
+        for v in values {
+            let b = bucket_of(v);
+            assert!(b >= last, "bucket order broke at {v}");
+            last = b;
+            // The representative of a value's bucket is within 12.5%.
+            let rep = bucket_value(b);
+            let err = rep.abs_diff(v) as f64 / v.max(1) as f64;
+            assert!(err <= 0.125 + 1e-9, "v={v} rep={rep} err={err}");
+        }
+    }
+
+    #[test]
+    fn exact_small_values() {
+        let mut h = LatencyHist::new();
+        for v in [0u64, 1, 2, 3] {
+            h.record_ns(v);
+        }
+        assert_eq!(h.quantile_ns(0.0), 0);
+        assert_eq!(h.quantile_ns(1.0), 3);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.max_ns(), 3);
+    }
+
+    #[test]
+    fn quantiles_track_a_uniform_sweep() {
+        let mut h = LatencyHist::new();
+        for v in 1..=10_000u64 {
+            h.record_ns(v * 1000); // 1µs .. 10ms
+        }
+        let p50 = h.quantile_ns(0.5) as f64;
+        let p99 = h.quantile_ns(0.99) as f64;
+        assert!((p50 / 5_000_000.0 - 1.0).abs() < 0.13, "p50 {p50}");
+        assert!((p99 / 9_900_000.0 - 1.0).abs() < 0.13, "p99 {p99}");
+        assert_eq!(h.max_ns(), 10_000_000);
+        assert!((h.mean_ns() as f64 / 5_000_500.0 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LatencyHist::new();
+        let mut b = LatencyHist::new();
+        let mut c = LatencyHist::new();
+        for v in 0..500u64 {
+            let x = v * v % 10_007;
+            if v % 2 == 0 {
+                a.record_ns(x);
+            } else {
+                b.record_ns(x);
+            }
+            c.record_ns(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut h = LatencyHist::new();
+            for v in 0..1000u64 {
+                h.record_ns(v.wrapping_mul(0x9E3779B97F4A7C15) >> 32);
+            }
+            (h.quantile_ns(0.5), h.quantile_ns(0.9), h.quantile_ns(0.99))
+        };
+        assert_eq!(run(), run());
+    }
+}

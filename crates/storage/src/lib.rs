@@ -30,6 +30,7 @@ pub mod concurrency;
 pub mod device;
 pub mod faulty;
 pub mod hdd;
+pub mod hist;
 pub mod profiles;
 pub mod ramdisk;
 pub mod retry;
@@ -42,6 +43,7 @@ pub use concurrency::{run_closed_loop, ClosedLoopConfig, ClosedLoopResult};
 pub use device::{BlockDevice, DeviceStats, IoCompletion, IoError, SharedDevice};
 pub use faulty::{FaultInjector, FaultMode, FaultStats, FaultSwitch};
 pub use hdd::{HddDevice, HddProfile};
+pub use hist::LatencyHist;
 pub use ramdisk::RamDisk;
 pub use retry::{RetryHandle, RetryPolicy, RetryStats, RetryingDevice};
 pub use ssd::{SsdDevice, SsdProfile};

@@ -53,8 +53,14 @@ impl<D: BlockDevice> TracingDevice<D> {
         &self.entries
     }
 
-    /// Drain the recorded IOs.
+    /// Drain the recorded IOs and reset the wrapped device's statistics.
+    ///
+    /// Entries and [`DeviceStats`] are kept in lock-step: after a drain,
+    /// `stats()` describes exactly the IOs still observable through
+    /// `entries()` (i.e. none), so windowed consumers can alternate
+    /// `take_entries()` / `stats()` without the two views diverging.
     pub fn take_entries(&mut self) -> Vec<TraceEntry> {
+        self.inner.reset_stats();
         std::mem::take(&mut self.entries)
     }
 
@@ -161,5 +167,26 @@ mod tests {
         d.write(0, &[0; 10], SimTime::ZERO).unwrap();
         assert_eq!(d.take_entries().len(), 1);
         assert!(d.entries().is_empty());
+    }
+
+    #[test]
+    fn take_entries_keeps_stats_and_entries_in_lock_step() {
+        // Regression: draining the trace used to leave the cumulative
+        // DeviceStats behind, so `entries()` and `stats()` described
+        // different windows of IOs.
+        let mut d = TracingDevice::new(RamDisk::new(1 << 16, SimDuration(5)));
+        d.write(0, &[0; 10], SimTime::ZERO).unwrap();
+        let mut buf = [0u8; 10];
+        d.read(0, &mut buf, SimTime::ZERO).unwrap();
+        assert_eq!(d.stats().total_ios(), 2);
+        assert_eq!(d.take_entries().len(), 2);
+        // Both views are now empty...
+        assert!(d.entries().is_empty());
+        assert_eq!(d.stats().total_ios(), 0);
+        // ...and the next window counts from zero on both.
+        d.write(0, &[0; 4], SimTime::ZERO).unwrap();
+        assert_eq!(d.entries().len(), 1);
+        assert_eq!(d.stats().total_ios(), 1);
+        assert_eq!(d.stats().bytes_written, 4);
     }
 }

@@ -1,0 +1,196 @@
+//! End-to-end checks for the observability layer (`dam-obs`): exact span
+//! IO attribution across all four dictionaries, model-residual ratios on
+//! the default device profiles, deterministic snapshots, and agreement
+//! with the checked-in metrics schema.
+
+use refined_dam::obs::validate_snapshot_json;
+use refined_dam::prelude::*;
+use refined_dam::storage::profiles;
+
+const NODE_BYTES: usize = 32 * 1024;
+const CACHE_BYTES: u64 = 1 << 18;
+const N_KEYS: u64 = 4_000;
+
+fn key(i: u64) -> Vec<u8> {
+    refined_dam::kv::key_from_u64(i).to_vec()
+}
+
+/// Build one of the four dictionaries on an observed RAM disk, with the
+/// tree's internal spans reporting into `obs`.
+fn build(structure: &str, obs: &Obs) -> Box<dyn Dictionary> {
+    let dev = ObservedDevice::shared(
+        Box::new(RamDisk::new(
+            1 << 26,
+            refined_dam::storage::SimDuration(50_000),
+        )),
+        obs.clone(),
+    );
+    match structure {
+        "btree" => {
+            let mut t = BTree::create(dev, BTreeConfig::new(NODE_BYTES, CACHE_BYTES)).unwrap();
+            t.set_obs(obs.clone());
+            Box::new(t)
+        }
+        "betree" => {
+            let mut t =
+                BeTree::create(dev, BeTreeConfig::sqrt_fanout(NODE_BYTES, 124, CACHE_BYTES))
+                    .unwrap();
+            t.set_obs(obs.clone());
+            Box::new(t)
+        }
+        "optbetree" => {
+            let mut t =
+                OptBeTree::create(dev, OptConfig::balanced(NODE_BYTES, 124, CACHE_BYTES)).unwrap();
+            t.set_obs(obs.clone());
+            Box::new(t)
+        }
+        "lsm" => {
+            let mut t = LsmTree::create(dev, LsmConfig::new(NODE_BYTES, CACHE_BYTES)).unwrap();
+            t.set_obs(obs.clone());
+            Box::new(t)
+        }
+        other => panic!("unknown structure {other}"),
+    }
+}
+
+/// Preload outside any span, reset the registry, then run a mixed workload
+/// entirely through [`ObservedDict`] root spans. Returns the snapshot.
+fn run_observed(structure: &str, obs: &Obs) -> MetricsSnapshot {
+    let mut dict = build(structure, obs);
+    for i in 0..N_KEYS {
+        dict.insert(&key(2 * i), &[(i % 251) as u8; 100]).unwrap();
+    }
+    dict.sync().unwrap();
+    obs.reset();
+
+    let mut od = ObservedDict::new(dict.as_mut(), structure, obs.clone());
+    let mut gen = WorkloadGen::new(WorkloadConfig::uniform(N_KEYS, 0xBEE5));
+    for _ in 0..300 {
+        od.get(&key(2 * gen.next_index())).unwrap();
+    }
+    for _ in 0..100 {
+        let i = 2 * gen.next_index() + 1;
+        od.insert(&key(i), &gen.value_for(i)).unwrap();
+    }
+    for _ in 0..5 {
+        let lo = 2 * gen.next_index();
+        od.range(&key(lo), &key(lo + 64)).unwrap();
+    }
+    od.sync().unwrap();
+    obs.snapshot()
+}
+
+#[test]
+fn span_attribution_sums_to_device_totals_for_every_dictionary() {
+    for structure in ["btree", "betree", "optbetree", "lsm"] {
+        let obs = Obs::new();
+        let snap = run_observed(structure, &obs);
+        assert!(
+            snap.device.ios > 0,
+            "{structure}: workload never reached the device (cache too large?)"
+        );
+        // Every post-reset IO happened inside an ObservedDict root span, so
+        // attribution must account for the device totals exactly.
+        assert_eq!(
+            snap.unattributed.ios, 0,
+            "{structure}: IOs escaped span attribution"
+        );
+        assert_eq!(
+            snap.attributed, snap.device,
+            "{structure}: attributed tally diverged from device totals"
+        );
+        assert_eq!(
+            snap.roots, snap.attributed,
+            "{structure}: root-span cumulative tally diverged"
+        );
+        snap.check_io_consistency()
+            .unwrap_or_else(|e| panic!("{structure}: {e}"));
+        // The tree-internal level spans must have claimed device IO.
+        assert!(
+            !snap.levels.is_empty(),
+            "{structure}: no per-level IO recorded"
+        );
+        let level_ios: u64 = snap.levels.values().map(|t| t.ios).sum();
+        assert!(
+            level_ios > 0 && level_ios <= snap.device.ios,
+            "{structure}: per-level IOs {level_ios} vs device {}",
+            snap.device.ios
+        );
+    }
+}
+
+/// Uniformly random block reads across the whole device: the regime both
+/// model fits assume. Measured time over predicted time must be near 1.
+fn residual_ratios(params: ModelParams, dev: Box<dyn BlockDevice>) -> (f64, f64, f64) {
+    let obs = Obs::with_model(params);
+    let mut od = refined_dam::obs::ObservedDevice::new(dev, obs.clone());
+    let span = od.capacity_bytes() / 64 / 1024;
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut now = SimTime::ZERO;
+    let mut state = 0x2545F4914F6CDD1Du64;
+    for _ in 0..200 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let offset = (state % span) * 64 * 1024;
+        let c = od.read(offset, &mut buf, now).unwrap();
+        now = c.complete;
+    }
+    let r = obs.snapshot().residual.expect("model installed, IOs seen");
+    assert_eq!(r.ios, 200);
+    (r.ratio_dam, r.ratio_affine, r.ratio_pdam)
+}
+
+#[test]
+fn residual_ratios_track_the_models_on_default_profiles() {
+    let hdd = profiles::toshiba_dt01aca050();
+    let (dam, affine, pdam) = residual_ratios(
+        ModelParams::from_hdd(&hdd),
+        Box::new(HddDevice::new(hdd.clone(), 7)),
+    );
+    for (name, r) in [("dam", dam), ("affine", affine), ("pdam", pdam)] {
+        assert!(
+            (0.8..=1.25).contains(&r),
+            "hdd {name} ratio {r} outside [0.8, 1.25]"
+        );
+    }
+
+    let ssd = profiles::samsung_860_pro();
+    let (dam, affine, pdam) = residual_ratios(
+        ModelParams::from_ssd(&ssd),
+        Box::new(SsdDevice::new(ssd.clone())),
+    );
+    for (name, r) in [("dam", dam), ("affine", affine), ("pdam", pdam)] {
+        assert!(
+            (0.8..=1.25).contains(&r),
+            "ssd {name} ratio {r} outside [0.8, 1.25]"
+        );
+    }
+}
+
+#[test]
+fn identical_runs_produce_byte_identical_snapshots() {
+    let run = || {
+        let obs = Obs::with_model(ModelParams::from_hdd(&profiles::toshiba_dt01aca050()));
+        run_observed("betree", &obs).to_json()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "snapshot JSON is not deterministic");
+    assert!(a.contains("\"residual\":"));
+}
+
+#[test]
+fn real_snapshots_satisfy_the_checked_in_schema() {
+    let schema = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/schemas/metrics_schema.json"
+    ))
+    .unwrap();
+    for structure in ["btree", "lsm"] {
+        let obs = Obs::with_model(ModelParams::from_hdd(&profiles::toshiba_dt01aca050()));
+        let json = run_observed(structure, &obs).to_json();
+        validate_snapshot_json(&json, &schema)
+            .unwrap_or_else(|missing| panic!("{structure}: missing keys {missing:?}"));
+    }
+}
