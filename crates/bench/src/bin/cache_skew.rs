@@ -6,6 +6,7 @@ use dam_bench::{table, Scale};
 
 fn main() {
     let scale = Scale::from_env();
+    eprintln!("{}", dam_bench::sweep::describe_jobs());
     println!("Access skew vs cache effectiveness — B-tree, 64 KiB nodes, testbed HDD\n");
     let rows = cache_skew(&scale);
     let data: Vec<Vec<String>> = rows

@@ -6,6 +6,7 @@ use dam_bench::{table, Scale};
 
 fn main() {
     let scale = Scale::from_env();
+    eprintln!("{}", dam_bench::sweep::describe_jobs());
     println!(
         "Figure 1 — closed-loop random 64 KiB reads, {} IOs per thread\n",
         scale.fig1_ios_per_client

@@ -8,6 +8,7 @@ use dam_bench::Scale;
 
 fn main() {
     let scale = Scale::from_env();
+    eprintln!("{}", dam_bench::sweep::describe_jobs());
     println!(
         "Figure 2 — B-tree ms/op vs node size ({} keys, {} cache, {} ops/phase)\n",
         scale.n_keys,

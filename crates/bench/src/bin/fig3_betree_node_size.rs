@@ -7,6 +7,7 @@ use dam_bench::Scale;
 
 fn main() {
     let scale = Scale::from_env();
+    eprintln!("{}", dam_bench::sweep::describe_jobs());
     println!(
         "Figure 3 — Bε-tree (F=√B) ms/op vs node size ({} keys, {} cache, {} ops/phase)\n",
         scale.n_keys,

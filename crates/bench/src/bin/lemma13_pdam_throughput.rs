@@ -6,6 +6,7 @@ use dam_bench::{table, Scale};
 
 fn main() {
     let scale = Scale::from_env();
+    eprintln!("{}", dam_bench::sweep::describe_jobs());
     println!(
         "Lemma 13 — queries per time step, P = 8, PB nodes vs B nodes ({} steps)\n",
         scale.lemma13_steps

@@ -6,6 +6,7 @@ use dam_bench::{table, Scale};
 
 fn main() {
     let scale = Scale::from_env();
+    eprintln!("{}", dam_bench::sweep::describe_jobs());
     println!("Lemma 1 — DAM (B = 1/α) vs affine cost on IO traces\n");
     let rows = lemma1(&scale);
     let data: Vec<Vec<String>> = rows

@@ -8,6 +8,7 @@ use dam_bench::Scale;
 
 fn main() {
     let scale = Scale::from_env();
+    eprintln!("{}", dam_bench::sweep::describe_jobs());
     println!(
         "LSM SSTable-size sweep — testbed HDD, {} keys, {} cache\n",
         scale.n_keys,

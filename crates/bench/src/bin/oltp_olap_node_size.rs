@@ -8,6 +8,7 @@ use dam_bench::Scale;
 
 fn main() {
     let scale = Scale::from_env();
+    eprintln!("{}", dam_bench::sweep::describe_jobs());
     println!("OLTP vs OLAP — B-tree node-size sweep on the testbed HDD\n");
     let rows = oltp_olap(&scale);
     let data: Vec<Vec<String>> = rows

@@ -6,6 +6,7 @@ use dam_bench::{table, Scale};
 
 fn main() {
     let scale = Scale::from_env();
+    eprintln!("{}", dam_bench::sweep::describe_jobs());
     println!("Table 1 — experimentally derived PDAM values (simulated devices)\n");
     let rows = fig1_and_table1(&scale);
     let paper = [(3.3, 530.0), (5.5, 2500.0), (2.9, 260.0), (4.6, 520.0)];

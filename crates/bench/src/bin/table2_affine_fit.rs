@@ -6,6 +6,7 @@ use dam_bench::{table, Scale};
 
 fn main() {
     let scale = Scale::from_env();
+    eprintln!("{}", dam_bench::sweep::describe_jobs());
     println!(
         "Table 2 — experimentally derived alpha values ({} reads per IO size, 4 KiB..16 MiB)\n",
         scale.table2_reads

@@ -5,6 +5,7 @@ use dam_bench::experiments::table3;
 use dam_bench::table::{self, fmt_bytes};
 
 fn main() {
+    eprintln!("{}", dam_bench::sweep::describe_jobs());
     let r = table3();
     println!(
         "Table 3 — affine cost per operation vs node size (α = {:.2e}/byte, testbed disk)\n",

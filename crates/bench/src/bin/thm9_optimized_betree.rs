@@ -7,6 +7,7 @@ use dam_bench::Scale;
 
 fn main() {
     let scale = Scale::from_env();
+    eprintln!("{}", dam_bench::sweep::describe_jobs());
     println!("Theorem 9 — standard vs optimized Bε-tree (1 MiB nodes, testbed HDD)\n");
     let rows = thm9_ablation(&scale);
     let data: Vec<Vec<String>> = rows

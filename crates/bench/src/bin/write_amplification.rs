@@ -7,6 +7,7 @@ use dam_bench::Scale;
 
 fn main() {
     let scale = Scale::from_env();
+    eprintln!("{}", dam_bench::sweep::describe_jobs());
     println!("Write amplification — random inserts, 256 KiB nodes, testbed HDD\n");
     let rows = write_amp(&scale);
     let data: Vec<Vec<String>> = rows

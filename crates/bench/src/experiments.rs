@@ -1,7 +1,16 @@
 //! The per-table / per-figure experiment runners (see DESIGN.md §4 for the
 //! index). Each returns structured rows; the `src/bin/*` printers render
 //! them in the paper's format.
+//!
+//! Grid-shaped experiments (node-size sweeps, per-device fits, client
+//! sweeps, ablation arms) run on the deterministic parallel
+//! [`crate::sweep::Sweep`] engine: every point gets an isolated
+//! device/pager/dictionary stack and an RNG seed derived from
+//! `(scale.seed, point index)`, results merge back in input order, and the
+//! output is byte-identical at any `DAM_JOBS` worker count
+//! (`tests/parallel_sweeps.rs`).
 
+use crate::sweep::{derive_seed, Sweep};
 use crate::Scale;
 use dam_refinements_bench_reexports::*;
 
@@ -24,6 +33,17 @@ mod dam_refinements_bench_reexports {
     pub use refined_dam::veb::{run_pdam_sim, PdamSimConfig};
 }
 use serde::{Deserialize, Serialize};
+
+/// The geometric grid `lo, lo·step, … ≤ hi` used by the node-size sweeps.
+fn geometric_sizes(lo: usize, hi: usize, step: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut b = lo;
+    while b <= hi {
+        out.push(b);
+        b *= step;
+    }
+    out
+}
 
 // ----------------------------------------------------------------------
 // Figure 1 + Table 1
@@ -48,29 +68,25 @@ pub struct SsdScalingRow {
 
 /// Run the §4.1 thread-scaling sweep on all four Table 1 SSDs.
 pub fn fig1_and_table1(scale: &Scale) -> Vec<SsdScalingRow> {
-    profiles::table1_ssds()
-        .into_iter()
-        .map(|profile| {
-            let units = profile.units;
-            let name = profile.name.clone();
-            let report = profile_pdam(
-                || Box::new(SsdDevice::new(profile.clone())),
-                &fig1_thread_counts(),
-                scale.fig1_ios_per_client,
-                64 * 1024,
-                scale.seed,
-            )
-            .expect("pdam profiling cannot fail on a healthy simulator");
-            SsdScalingRow {
-                device: name,
-                units,
-                series: report.series.clone(),
-                p: report.p,
-                saturation_mb_s: report.saturation_bytes_s / 1e6,
-                r2: report.r2,
-            }
-        })
-        .collect()
+    Sweep::new(scale.seed, profiles::table1_ssds()).run(|ctx| {
+        let profile = ctx.point;
+        let report = profile_pdam(
+            || Box::new(SsdDevice::new(profile.clone())),
+            &fig1_thread_counts(),
+            scale.fig1_ios_per_client,
+            64 * 1024,
+            ctx.seed,
+        )
+        .expect("pdam profiling cannot fail on a healthy simulator");
+        SsdScalingRow {
+            device: profile.name.clone(),
+            units: profile.units,
+            series: report.series.clone(),
+            p: report.p,
+            saturation_mb_s: report.saturation_bytes_s / 1e6,
+            r2: report.r2,
+        }
+    })
 }
 
 // ----------------------------------------------------------------------
@@ -101,32 +117,30 @@ pub struct AffineFitRow {
 /// Run the §4.2 IO-size sweep on all five Table 2 HDDs.
 pub fn table2(scale: &Scale) -> Vec<AffineFitRow> {
     let paper_alphas = [0.0012, 0.0022, 0.0031, 0.0029, 0.0017];
-    profiles::table2_hdds()
+    let points: Vec<_> = profiles::table2_hdds()
         .into_iter()
         .zip(paper_alphas)
-        .map(|(profile, paper_alpha)| {
-            let name = profile.name.clone();
-            let year = profile.year;
-            let seed = scale.seed ^ year as u64;
-            let report = profile_affine(
-                || Box::new(HddDevice::new(profile.clone(), seed)),
-                &table2_io_sizes(),
-                scale.table2_reads,
-                scale.seed,
-            )
-            .expect("affine profiling cannot fail on a healthy simulator");
-            AffineFitRow {
-                disk: name,
-                year,
-                s: report.setup_s,
-                t_per_4k: report.t_per_4k,
-                alpha: report.alpha_per_4k,
-                r2: report.r2,
-                paper_alpha,
-                series: report.series,
-            }
-        })
-        .collect()
+        .collect();
+    Sweep::new(scale.seed, points).run(|ctx| {
+        let (profile, paper_alpha) = ctx.point;
+        let report = profile_affine(
+            || Box::new(HddDevice::new(profile.clone(), ctx.seed)),
+            &table2_io_sizes(),
+            scale.table2_reads,
+            ctx.seed,
+        )
+        .expect("affine profiling cannot fail on a healthy simulator");
+        AffineFitRow {
+            disk: profile.name.clone(),
+            year: profile.year,
+            s: report.setup_s,
+            t_per_4k: report.t_per_4k,
+            alpha: report.alpha_per_4k,
+            r2: report.r2,
+            paper_alpha: *paper_alpha,
+            series: report.series,
+        }
+    })
 }
 
 // ----------------------------------------------------------------------
@@ -150,7 +164,16 @@ pub fn table3() -> Table3Result {
     let profile = profiles::toshiba_dt01aca050();
     let affine = Affine::new(profile.alpha_per_byte());
     let shape = DictShape::new(2e9, 1e4, 116.0, 24.0);
-    let points = sensitivity::sweep(&affine, &shape, 4096.0, 64.0 * 1024.0 * 1024.0, 2.0);
+    // Same grid as `sensitivity::sweep(lo=4 KiB, hi=64 MiB, step=2)`, one
+    // analytic evaluation per sweep point.
+    let mut sizes = Vec::new();
+    let (hi, step) = (64.0 * 1024.0 * 1024.0, 2.0);
+    let mut b = 4096.0f64;
+    while b <= hi * 1.0000001 {
+        sizes.push(b);
+        b *= step;
+    }
+    let points = Sweep::new(0, sizes).run(|ctx| sensitivity::evaluate(&affine, &shape, *ctx.point));
     let summary = sensitivity::summarize(&affine, &shape, 64.0);
     Table3Result {
         alpha_per_byte: affine.alpha,
@@ -200,6 +223,11 @@ fn preload_pairs(scale: &Scale) -> Vec<(Vec<u8>, Vec<u8>)> {
 /// Run the §7 measurement phases against any dictionary: `ops` random
 /// point queries over preloaded keys, then `ops` random inserts of new
 /// keys. Returns `(query_ms, insert_ms)` means of simulated IO time.
+///
+/// Every call constructs its own workload generator from `scale.seed`, so
+/// the op stream is identical at every sweep point (a paired comparison)
+/// and independent of which points ran before — no generator state is ever
+/// shared across points.
 pub fn measure_phases(dict: &mut dyn Dictionary, scale: &Scale) -> (f64, f64) {
     if let Some(o) = crate::metrics::obs() {
         let mut wrapped = refined_dam::obs::ObservedDict::new(dict, "dict", o);
@@ -245,13 +273,9 @@ pub fn fig2(scale: &Scale) -> Vec<NodeSizePoint> {
         24.0,
     );
     let pairs = preload_pairs(scale);
-    let mut out = Vec::new();
-    let mut node_bytes = 4096usize;
-    while node_bytes <= 1 << 20 {
-        let device = crate::metrics::observe(Box::new(HddDevice::new(
-            profile.clone(),
-            scale.seed ^ node_bytes as u64,
-        )));
+    Sweep::new(scale.seed, geometric_sizes(4096, 1 << 20, 2)).run(|ctx| {
+        let node_bytes = *ctx.point;
+        let device = crate::metrics::observe(Box::new(HddDevice::new(profile.clone(), ctx.seed)));
         let mut tree = BTree::bulk_load(
             device,
             BTreeConfig::new(node_bytes, scale.cache_bytes),
@@ -263,16 +287,14 @@ pub fn fig2(scale: &Scale) -> Vec<NodeSizePoint> {
         }
         let (query_ms, insert_ms) = measure_phases(&mut tree, scale);
         let pred = btree_costs::point_op_cost(&affine, &shape, node_bytes as f64) * setup_s * 1e3;
-        out.push(NodeSizePoint {
+        NodeSizePoint {
             node_bytes,
             query_ms,
             insert_ms,
             predicted_query_ms: pred,
             predicted_insert_ms: pred,
-        });
-        node_bytes *= 2;
-    }
-    out
+        }
+    })
 }
 
 /// Figure 3: TokuDB-style Bε-tree (`F = √B`), node sizes 64 KiB – 4 MiB,
@@ -295,13 +317,9 @@ pub fn fig3(scale: &Scale) -> Vec<NodeSizePoint> {
     );
     let pairs = preload_pairs(scale);
     let entry = scale.value_bytes + 24;
-    let mut out = Vec::new();
-    let mut node_bytes = 64 * 1024usize;
-    while node_bytes <= 4 << 20 {
-        let device = crate::metrics::observe(Box::new(HddDevice::new(
-            profile.clone(),
-            scale.seed ^ node_bytes as u64,
-        )));
+    Sweep::new(scale.seed, geometric_sizes(64 * 1024, 4 << 20, 2)).run(|ctx| {
+        let node_bytes = *ctx.point;
+        let device = crate::metrics::observe(Box::new(HddDevice::new(profile.clone(), ctx.seed)));
         let mut tree = OptBeTree::bulk_load(
             device,
             OptConfig::balanced(node_bytes, entry, scale.cache_bytes),
@@ -315,16 +333,14 @@ pub fn fig3(scale: &Scale) -> Vec<NodeSizePoint> {
         let cfg = betree_costs::BetreeConfig::sqrt_fanout(&shape, node_bytes as f64);
         let pred_q = betree_costs::query_cost_optimized(&affine, &shape, &cfg) * setup_s * 1e3;
         let pred_i = betree_costs::insert_cost(&affine, &shape, &cfg) * setup_s * 1e3;
-        out.push(NodeSizePoint {
+        NodeSizePoint {
             node_bytes,
             query_ms,
             insert_ms,
             predicted_query_ms: pred_q,
             predicted_insert_ms: pred_i,
-        });
-        node_bytes *= 2;
-    }
-    out
+        }
+    })
 }
 
 // ----------------------------------------------------------------------
@@ -352,35 +368,36 @@ pub fn lemma1(scale: &Scale) -> Vec<Lemma1Row> {
     use rand::{Rng, SeedableRng};
     let affine = Affine::new(profiles::toshiba_dt01aca050().alpha_per_byte());
     let b = affine.half_bandwidth_bytes();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(scale.seed);
+    // The randomized trace draws from its own derived stream (index 3 in
+    // the trace list), not a generator shared across traces, so adding or
+    // reordering traces cannot change it.
+    let mixed: Vec<f64> = {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(derive_seed(scale.seed, 3));
+        (0..2000)
+            .map(|_| 2f64.powf(rng.gen_range(9.0..24.0)))
+            .collect()
+    };
     let traces: Vec<(String, Vec<f64>)> = vec![
         ("4 KiB random IOs".into(), vec![4096.0; 2000]),
         ("half-bandwidth IOs".into(), vec![b; 2000]),
         ("16 MiB scans".into(), vec![16.0 * 1024.0 * 1024.0; 50]),
-        (
-            "log-uniform mixed".into(),
-            (0..2000)
-                .map(|_| 2f64.powf(rng.gen_range(9.0..24.0)))
-                .collect(),
-        ),
+        ("log-uniform mixed".into(), mixed),
         (
             "B-tree query trace (64 KiB nodes)".into(),
             vec![65536.0; 4000],
         ),
     ];
-    traces
-        .into_iter()
-        .map(|(name, trace)| {
-            let report = conversions::lemma1_check(&affine, &trace);
-            Lemma1Row {
-                trace: name,
-                affine_cost: report.affine_cost,
-                dam_cost: report.dam_cost,
-                error_factor: report.dam_error_factor(),
-                holds: report.holds(),
-            }
-        })
-        .collect()
+    Sweep::new(scale.seed, traces).run(|ctx| {
+        let (name, trace) = ctx.point;
+        let report = conversions::lemma1_check(&affine, trace);
+        Lemma1Row {
+            trace: name.clone(),
+            affine_cost: report.affine_cost,
+            dam_cost: report.dam_cost,
+            error_factor: report.dam_error_factor(),
+            holds: report.holds(),
+        }
+    })
 }
 
 // ----------------------------------------------------------------------
@@ -404,56 +421,57 @@ pub struct Thm9Row {
 
 /// Compare the standard and optimized Bε-trees at the same (large) node
 /// size on the testbed HDD — the Theorem 9 payoff.
+///
+/// Both arms run on a device seeded with `scale.seed` (not a per-arm
+/// derived seed): the ablation is a paired comparison on identical device
+/// randomness, and each arm builds its own device so neither depends on
+/// the other having run.
 pub fn thm9_ablation(scale: &Scale) -> Vec<Thm9Row> {
     let profile = profiles::toshiba_dt01aca050();
     let entry = scale.value_bytes + 24;
     let node_bytes = 1 << 20; // 1 MiB nodes: large enough that αB ≫ α B/F
     let pairs = preload_pairs(scale);
 
-    let mut rows = Vec::new();
-
-    // Standard variant.
-    {
+    Sweep::new(scale.seed, vec![false, true]).run(|ctx| {
         let device = crate::metrics::observe(Box::new(HddDevice::new(profile.clone(), scale.seed)));
-        let mut tree = BeTree::bulk_load(
-            device,
-            BeTreeConfig::sqrt_fanout(node_bytes, entry, scale.cache_bytes),
-            pairs.clone(),
-        )
-        .expect("bulk load failed");
-        let before = tree.pager().counters();
-        let (query_ms, insert_ms) = measure_phases(&mut tree, scale);
-        let after = tree.pager().counters();
-        rows.push(Thm9Row {
-            variant: "standard (whole-node IOs)".into(),
-            node_bytes,
-            query_ms,
-            insert_ms,
-            query_bytes: (after.bytes_read - before.bytes_read) as f64 / (2 * scale.ops) as f64,
-        });
-    }
-
-    // Optimized variant (Theorem 9).
-    {
-        let device = crate::metrics::observe(Box::new(HddDevice::new(profile.clone(), scale.seed)));
-        let mut tree = OptBeTree::bulk_load(
-            device,
-            OptConfig::balanced(node_bytes, entry, scale.cache_bytes),
-            pairs.clone(),
-        )
-        .expect("bulk load failed");
-        let before = tree.pager().counters();
-        let (query_ms, insert_ms) = measure_phases(&mut tree, scale);
-        let after = tree.pager().counters();
-        rows.push(Thm9Row {
-            variant: "optimized (Thm 9 segments)".into(),
-            node_bytes: tree.node_bytes(),
-            query_ms,
-            insert_ms,
-            query_bytes: (after.bytes_read - before.bytes_read) as f64 / (2 * scale.ops) as f64,
-        });
-    }
-    rows
+        if !*ctx.point {
+            // Standard variant.
+            let mut tree = BeTree::bulk_load(
+                device,
+                BeTreeConfig::sqrt_fanout(node_bytes, entry, scale.cache_bytes),
+                pairs.clone(),
+            )
+            .expect("bulk load failed");
+            let before = tree.pager().counters();
+            let (query_ms, insert_ms) = measure_phases(&mut tree, scale);
+            let after = tree.pager().counters();
+            Thm9Row {
+                variant: "standard (whole-node IOs)".into(),
+                node_bytes,
+                query_ms,
+                insert_ms,
+                query_bytes: (after.bytes_read - before.bytes_read) as f64 / (2 * scale.ops) as f64,
+            }
+        } else {
+            // Optimized variant (Theorem 9).
+            let mut tree = OptBeTree::bulk_load(
+                device,
+                OptConfig::balanced(node_bytes, entry, scale.cache_bytes),
+                pairs.clone(),
+            )
+            .expect("bulk load failed");
+            let before = tree.pager().counters();
+            let (query_ms, insert_ms) = measure_phases(&mut tree, scale);
+            let after = tree.pager().counters();
+            Thm9Row {
+                variant: "optimized (Thm 9 segments)".into(),
+                node_bytes: tree.node_bytes(),
+                query_ms,
+                insert_ms,
+                query_bytes: (after.bytes_read - before.bytes_read) as f64 / (2 * scale.ops) as f64,
+            }
+        }
+    })
 }
 
 // ----------------------------------------------------------------------
@@ -483,34 +501,32 @@ pub fn lemma13(scale: &Scale) -> Vec<Lemma13Row> {
     let node_blocks = 8u64;
     let n_items = 1u64 << 30;
     let pdam = refined_dam::models::Pdam::new(p as f64, block_pivots as f64);
-    [1usize, 2, 4, 8]
-        .into_iter()
-        .map(|k| {
-            let mut cfg = PdamSimConfig {
-                p,
-                clients: k,
-                block_pivots,
-                node_blocks,
-                n_items,
-                design: TreeDesign::FatVeb,
-                steps: scale.lemma13_steps,
-                seed: scale.seed,
-            };
-            let fat_veb = run_pdam_sim(&cfg).throughput;
-            cfg.design = TreeDesign::FatSorted;
-            let fat_sorted = run_pdam_sim(&cfg).throughput;
-            cfg.design = TreeDesign::SmallNodes;
-            let small_nodes = run_pdam_sim(&cfg).throughput;
-            let predicted_veb = pdam.veb_tree_throughput(k as f64, n_items as f64, 1.0);
-            Lemma13Row {
-                clients: k,
-                fat_veb,
-                fat_sorted,
-                small_nodes,
-                predicted_veb,
-            }
-        })
-        .collect()
+    Sweep::new(scale.seed, vec![1usize, 2, 4, 8]).run(|ctx| {
+        let k = *ctx.point;
+        let mut cfg = PdamSimConfig {
+            p,
+            clients: k,
+            block_pivots,
+            node_blocks,
+            n_items,
+            design: TreeDesign::FatVeb,
+            steps: scale.lemma13_steps,
+            seed: ctx.seed,
+        };
+        let fat_veb = run_pdam_sim(&cfg).throughput;
+        cfg.design = TreeDesign::FatSorted;
+        let fat_sorted = run_pdam_sim(&cfg).throughput;
+        cfg.design = TreeDesign::SmallNodes;
+        let small_nodes = run_pdam_sim(&cfg).throughput;
+        let predicted_veb = pdam.veb_tree_throughput(k as f64, n_items as f64, 1.0);
+        Lemma13Row {
+            clients: k,
+            fat_veb,
+            fat_sorted,
+            small_nodes,
+            predicted_veb,
+        }
+    })
 }
 
 // ----------------------------------------------------------------------
@@ -574,6 +590,36 @@ pub struct WriteAmpRow {
     pub predicted: f64,
 }
 
+/// Insert `inserts` fresh random keys, flush, and report physical bytes
+/// written per logical byte modified.
+///
+/// The insert stream is a pure function of the explicit `seed` — callers
+/// pass the same seed to every arm for a paired comparison, and no
+/// generator is ever carried across sweep points.
+fn run_inserts<D, F>(
+    tree: &mut D,
+    scale: &Scale,
+    inserts: u64,
+    logical_per_op: u64,
+    seed: u64,
+    written_after_flush: F,
+) -> f64
+where
+    D: Dictionary,
+    F: Fn(&mut D) -> u64,
+{
+    let before = written_after_flush(tree);
+    let mut gen = WorkloadGen::new(WorkloadConfig::uniform(scale.n_keys, seed));
+    for _ in 0..inserts {
+        let idx = 2 * gen.next_index() + 1;
+        let key = refined_dam::kv::key_from_u64(idx);
+        let value = gen.value_for(idx);
+        tree.insert(&key, &value).expect("insert failed");
+    }
+    let written = written_after_flush(tree) - before;
+    written as f64 / (inserts * logical_per_op) as f64
+}
+
 /// Measure write amplification of random inserts on the B-tree and both
 /// Bε-trees.
 pub fn write_amp(scale: &Scale) -> Vec<WriteAmpRow> {
@@ -589,73 +635,61 @@ pub fn write_amp(scale: &Scale) -> Vec<WriteAmpRow> {
     );
     let logical_per_op = (16 + scale.value_bytes) as u64;
     let inserts = scale.ops * 4;
+    let insert_seed = scale.seed ^ 0xA11; // shared across arms: paired comparison
 
-    /// Insert `inserts` fresh random keys, flush, and report physical bytes
-    /// written per logical byte modified.
-    fn run_inserts<D, F>(
-        tree: &mut D,
-        scale: &Scale,
-        inserts: u64,
-        logical_per_op: u64,
-        written_after_flush: F,
-    ) -> f64
-    where
-        D: Dictionary,
-        F: Fn(&mut D) -> u64,
-    {
-        let before = written_after_flush(tree);
-        let mut gen = WorkloadGen::new(WorkloadConfig::uniform(scale.n_keys, scale.seed ^ 0xA11));
-        for _ in 0..inserts {
-            let idx = 2 * gen.next_index() + 1;
-            let key = refined_dam::kv::key_from_u64(idx);
-            let value = gen.value_for(idx);
-            tree.insert(&key, &value).expect("insert failed");
+    Sweep::new(scale.seed, vec![false, true]).run(|ctx| {
+        let device = crate::metrics::observe(Box::new(HddDevice::new(profile.clone(), scale.seed)));
+        if !*ctx.point {
+            let mut tree = BTree::bulk_load(
+                device,
+                BTreeConfig::new(node_bytes, scale.cache_bytes),
+                pairs.clone(),
+            )
+            .expect("bulk load failed");
+            let measured = run_inserts(
+                &mut tree,
+                scale,
+                inserts,
+                logical_per_op,
+                insert_seed,
+                |t| {
+                    t.flush().unwrap();
+                    t.pager().counters().bytes_written
+                },
+            );
+            WriteAmpRow {
+                structure: "B-tree".into(),
+                node_bytes,
+                measured,
+                predicted: btree_costs::write_amp(&shape, node_bytes as f64),
+            }
+        } else {
+            let mut tree = BeTree::bulk_load(
+                device,
+                BeTreeConfig::sqrt_fanout(node_bytes, entry, scale.cache_bytes),
+                pairs.clone(),
+            )
+            .expect("bulk load failed");
+            let measured = run_inserts(
+                &mut tree,
+                scale,
+                inserts,
+                logical_per_op,
+                insert_seed,
+                |t| {
+                    t.flush().unwrap();
+                    t.pager().counters().bytes_written
+                },
+            );
+            let cfg = betree_costs::BetreeConfig::sqrt_fanout(&shape, node_bytes as f64);
+            WriteAmpRow {
+                structure: "Bε-tree (F = √B)".into(),
+                node_bytes,
+                measured,
+                predicted: betree_costs::write_amp(&shape, &cfg),
+            }
         }
-        let written = written_after_flush(tree) - before;
-        written as f64 / (inserts * logical_per_op) as f64
-    }
-
-    let mut rows = Vec::new();
-    {
-        let device = crate::metrics::observe(Box::new(HddDevice::new(profile.clone(), scale.seed)));
-        let mut tree = BTree::bulk_load(
-            device,
-            BTreeConfig::new(node_bytes, scale.cache_bytes),
-            pairs.clone(),
-        )
-        .expect("bulk load failed");
-        let measured = run_inserts(&mut tree, scale, inserts, logical_per_op, |t| {
-            t.flush().unwrap();
-            t.pager().counters().bytes_written
-        });
-        rows.push(WriteAmpRow {
-            structure: "B-tree".into(),
-            node_bytes,
-            measured,
-            predicted: btree_costs::write_amp(&shape, node_bytes as f64),
-        });
-    }
-    {
-        let device = crate::metrics::observe(Box::new(HddDevice::new(profile.clone(), scale.seed)));
-        let mut tree = BeTree::bulk_load(
-            device,
-            BeTreeConfig::sqrt_fanout(node_bytes, entry, scale.cache_bytes),
-            pairs.clone(),
-        )
-        .expect("bulk load failed");
-        let measured = run_inserts(&mut tree, scale, inserts, logical_per_op, |t| {
-            t.flush().unwrap();
-            t.pager().counters().bytes_written
-        });
-        let cfg = betree_costs::BetreeConfig::sqrt_fanout(&shape, node_bytes as f64);
-        rows.push(WriteAmpRow {
-            structure: "Bε-tree (F = √B)".into(),
-            node_bytes,
-            measured,
-            predicted: betree_costs::write_amp(&shape, &cfg),
-        });
-    }
-    rows
+    })
 }
 
 // ----------------------------------------------------------------------
@@ -684,13 +718,9 @@ pub fn lsm_sstable_size(scale: &Scale) -> Vec<LsmSizePoint> {
     let profile = profiles::toshiba_dt01aca050();
     let pairs = preload_pairs(scale);
     let entry_bytes = (16 + scale.value_bytes) as u64;
-    let mut out = Vec::new();
-    let mut sstable = 64 * 1024usize;
-    while sstable <= 4 << 20 {
-        let device = crate::metrics::observe(Box::new(HddDevice::new(
-            profile.clone(),
-            scale.seed ^ sstable as u64,
-        )));
+    Sweep::new(scale.seed, geometric_sizes(64 * 1024, 4 << 20, 2)).run(|ctx| {
+        let sstable = *ctx.point;
+        let device = crate::metrics::observe(Box::new(HddDevice::new(profile.clone(), ctx.seed)));
         let mut cfg = LsmConfig::new(sstable, scale.cache_bytes);
         cfg.block_bytes = 4096;
         let mut tree = LsmTree::create(device, cfg).expect("create failed");
@@ -729,15 +759,13 @@ pub fn lsm_sstable_size(scale: &Scale) -> Vec<LsmSizePoint> {
         tree.sync().expect("sync failed");
         insert_ms += tree.last_op_cost().io_time_ms();
         let written = tree.pager().counters().bytes_written - written_before;
-        out.push(LsmSizePoint {
+        LsmSizePoint {
             sstable_bytes: sstable,
             query_ms: query_ms / scale.ops as f64,
             insert_ms: insert_ms / inserts as f64,
             write_amp: written as f64 / (inserts * entry_bytes) as f64,
-        });
-        sstable *= 2;
-    }
-    out
+        }
+    })
 }
 
 // ----------------------------------------------------------------------
@@ -961,13 +989,9 @@ pub fn oltp_olap(scale: &Scale) -> Vec<OltpOlapRow> {
     let affine = Affine::new(profile.alpha_per_byte());
     let pairs = preload_pairs(scale);
     let data_bytes: u64 = pairs.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum();
-    let mut out = Vec::new();
-    let mut node_bytes = 8 * 1024usize;
-    while node_bytes <= 4 << 20 {
-        let device = crate::metrics::observe(Box::new(HddDevice::new(
-            profile.clone(),
-            scale.seed ^ node_bytes as u64,
-        )));
+    Sweep::new(scale.seed, geometric_sizes(8 * 1024, 4 << 20, 4)).run(|ctx| {
+        let node_bytes = *ctx.point;
+        let device = crate::metrics::observe(Box::new(HddDevice::new(profile.clone(), ctx.seed)));
         // Age the tree by scattering leaf placement: every leaf read pays a
         // seek — the §5 regime in which node size governs scan bandwidth.
         let mut tree = BTree::bulk_load(
@@ -976,7 +1000,7 @@ pub fn oltp_olap(scale: &Scale) -> Vec<OltpOlapRow> {
             pairs.clone(),
         )
         .expect("bulk load failed");
-        tree.scatter_leaves(scale.seed).expect("scatter failed");
+        tree.scatter_leaves(ctx.seed).expect("scatter failed");
         tree.drop_cache().expect("drop failed");
         let lo = refined_dam::kv::key_from_u64(0);
         let hi = [0xFFu8; 17];
@@ -992,15 +1016,13 @@ pub fn oltp_olap(scale: &Scale) -> Vec<OltpOlapRow> {
             tree.get(&key).expect("get failed");
             point_ms += tree.last_op_cost().io_time_ms();
         }
-        out.push(OltpOlapRow {
+        OltpOlapRow {
             node_bytes,
             point_ms: point_ms / probes as f64,
             scan_mb_s,
             predicted_utilization: affine.bandwidth_utilization(node_bytes as f64),
-        });
-        node_bytes *= 4;
-    }
-    out
+        }
+    })
 }
 
 // ----------------------------------------------------------------------
@@ -1024,12 +1046,13 @@ pub fn cache_skew(scale: &Scale) -> Vec<SkewRow> {
     use refined_dam::kv::KeyDistribution;
     let profile = profiles::toshiba_dt01aca050();
     let pairs = preload_pairs(scale);
-    let mut out = Vec::new();
-    for (label, dist) in [
+    let points: Vec<(&str, KeyDistribution)> = vec![
         ("uniform", KeyDistribution::Uniform),
         ("zipfian(0.99)", KeyDistribution::Zipfian(0.99)),
         ("zipfian(1.2)", KeyDistribution::Zipfian(1.2)),
-    ] {
+    ];
+    Sweep::new(scale.seed, points).run(|ctx| {
+        let (label, dist) = ctx.point;
         let device = crate::metrics::observe(Box::new(HddDevice::new(profile.clone(), scale.seed)));
         let mut tree = BTree::bulk_load(
             device,
@@ -1041,7 +1064,7 @@ pub fn cache_skew(scale: &Scale) -> Vec<SkewRow> {
         let mut gen = WorkloadGen::new(WorkloadConfig {
             n_keys: scale.n_keys,
             value_bytes: scale.value_bytes,
-            distribution: dist,
+            distribution: *dist,
             seed: scale.seed ^ 0x55,
         });
         // Warm the cache with the same distribution, then measure.
@@ -1059,11 +1082,10 @@ pub fn cache_skew(scale: &Scale) -> Vec<SkewRow> {
         let after = tree.pager().counters();
         let hits = after.hits - before.hits;
         let misses = after.misses - before.misses;
-        out.push(SkewRow {
+        SkewRow {
             workload: label.to_string(),
             query_ms: query_ms / scale.ops as f64,
             hit_rate: hits as f64 / (hits + misses).max(1) as f64,
-        });
-    }
-    out
+        }
+    })
 }

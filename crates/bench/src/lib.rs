@@ -6,10 +6,16 @@
 //! fixed seed, so results are bit-reproducible. Scale knobs live in
 //! [`Scale`]; the defaults keep every experiment laptop-sized while
 //! preserving the data-to-cache ratios that drive the paper's effects
-//! (see DESIGN.md §8).
+//! (see DESIGN.md §9).
+//!
+//! Grid-shaped experiments fan their points across worker threads via the
+//! deterministic [`sweep`] engine (`DAM_JOBS` / `damlab --jobs`); because
+//! every point owns its own simulated clock and derived seed, job count
+//! changes wall-clock time and nothing else (see DESIGN.md §8).
 
 pub mod experiments;
 pub mod metrics;
+pub mod sweep;
 pub mod table;
 
 use serde::{Deserialize, Serialize};

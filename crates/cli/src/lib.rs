@@ -11,8 +11,12 @@
 //! * `damlab run --structure <btree|betree|optbetree|lsm> --device <name>
 //!   [--node-kb N] [--keys N] [--ops N]` — load a dictionary and measure
 //!   per-op costs,
-//! * `damlab experiment <name>` — regenerate a paper table/figure
-//!   (`table1`, `table2`, `fig2`, … — see `damlab experiment list`),
+//! * `damlab experiment <name> [--jobs N]` — regenerate a paper
+//!   table/figure (`table1`, `table2`, `fig2`, … — see `damlab experiment
+//!   list`); grid experiments fan across `N` workers with identical output,
+//! * `damlab sweep-bench [--jobs N] [--scale smoke|default]` — time the
+//!   grid experiments at jobs=1 vs jobs=N, verify the rows are identical,
+//!   and write `BENCH_sweep_runtime.json`,
 //! * `damlab stats --structure <s> --device <name> [--format json]` — run an
 //!   instrumented workload and render the observability snapshot: per-level
 //!   IO, span tallies, latency percentiles, cache hit rate, read/write
@@ -36,6 +40,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "tune" => commands::tune(&args),
         "run" => commands::run_workload(&args),
         "experiment" => commands::experiment(&args),
+        "sweep-bench" => commands::sweep_bench(&args),
         "stats" => commands::stats(&args),
         "check-metrics" => commands::check_metrics(&args),
         "help" | "" => Ok(commands::help()),

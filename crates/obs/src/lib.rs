@@ -10,7 +10,10 @@
 //! * [`Obs`] — a cloneable handle to a metrics registry: counters, gauges,
 //!   and log-bucketed latency histograms keyed on the simulated clock
 //!   ([`dam_storage::SimTime`]), so identical runs produce byte-identical
-//!   snapshots. No wall-clock anywhere.
+//!   snapshots. No wall-clock anywhere. Registries are *mergeable*
+//!   ([`Obs::merge_from`]): parallel sweep workers each record into a
+//!   private registry and the results fold back in input order, keeping
+//!   snapshots byte-identical at any worker count.
 //! * **Spans** — [`Obs::span`] / [`Obs::span_at`] / [`Obs::descend`] open
 //!   scoped operation spans (`"betree.get"` → child spans per level
 //!   descent, buffer drain, compaction). Every IO the [`ObservedDevice`]

@@ -435,6 +435,78 @@ impl Obs {
     }
 
     // ------------------------------------------------------------------
+    // Merging (parallel sweep support)
+    // ------------------------------------------------------------------
+
+    /// Fold a finished worker registry into this one.
+    ///
+    /// This is what makes per-worker observability safe under parallel
+    /// sweeps: each sweep point records into its own `Obs`, and the sweep
+    /// engine folds the per-point registries back **in input order**, so
+    /// the merged registry — and hence its snapshot JSON — is byte-for-byte
+    /// identical at any worker count. Semantics per channel:
+    ///
+    /// * counters, histograms, per-level tallies, span aggregates, the
+    ///   attribution tallies (`attributed`/`unattributed`/`device`/`roots`),
+    ///   and the model-residual accumulator **add** (so ingested cumulative
+    ///   counters like `pager.*` become sweep-wide totals);
+    /// * gauges and `last_root` take the source's value (last merge wins —
+    ///   deterministic because merges happen in input order);
+    /// * the recent-IO ring appends the source's ring, keeping the newest
+    ///   `RECENT_CAP` entries;
+    /// * this registry's model parameters are kept (the source's are used
+    ///   only if none are installed here).
+    ///
+    /// Spans still open in the source are ignored — merge finished
+    /// registries only. Merging a registry into itself is a no-op. The two
+    /// locks are taken source-then-destination from the single merging
+    /// thread; concurrent cross-merges of the same pair are not supported.
+    pub fn merge_from(&self, other: &Obs) {
+        if Arc::ptr_eq(&self.inner, &other.inner) {
+            return;
+        }
+        let src = other.inner.lock();
+        let mut guard = self.inner.lock();
+        let dst = &mut *guard;
+        for (k, v) in &src.counters {
+            *dst.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &src.gauges {
+            dst.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &src.hists {
+            dst.hists.entry(k.clone()).or_default().merge(h);
+        }
+        for (k, a) in &src.span_aggr {
+            let agg = dst.span_aggr.entry(k.clone()).or_default();
+            agg.count += a.count;
+            agg.own.add(&a.own);
+            agg.cum.add(&a.cum);
+        }
+        for (l, t) in &src.levels {
+            dst.levels.entry(*l).or_default().add(t);
+        }
+        dst.attributed.add(&src.attributed);
+        dst.unattributed.add(&src.unattributed);
+        dst.device.add(&src.device);
+        dst.roots.add(&src.roots);
+        dst.root_count += src.root_count;
+        dst.residual.merge(&src.residual);
+        if dst.model.is_none() {
+            dst.model = src.model.clone();
+        }
+        if src.last_root.is_some() {
+            dst.last_root = src.last_root.clone();
+        }
+        for io in &src.recent {
+            if dst.recent.len() == RECENT_CAP {
+                dst.recent.pop_front();
+            }
+            dst.recent.push_back(*io);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Lifecycle
     // ------------------------------------------------------------------
 
@@ -534,6 +606,77 @@ mod tests {
         // the leftover inner guard must be a no-op now
         drop(_inner);
         assert_eq!(o.snapshot().spans.get("inner").unwrap().count, 1);
+    }
+
+    /// Drive one registry with `2n` interleaved workloads vs two registries
+    /// with `n` each, merged: the snapshots must coincide exactly.
+    #[test]
+    fn merge_equals_combined_recording() {
+        let record = |o: &Obs, salt: u64| {
+            let _root = o.span("op.get");
+            o.record_io(false, 4096 + salt, 100 + salt);
+            o.inc("c", salt);
+            o.set_gauge("g", salt as f64);
+            {
+                let _l = o.span_at("level", (salt % 3) as u32);
+                o.record_io(true, 512, 7 * salt + 1);
+            }
+        };
+        let combined = Obs::new();
+        let a = Obs::new();
+        let b = Obs::new();
+        for salt in 0..20u64 {
+            record(&combined, salt);
+            record(if salt < 10 { &a } else { &b }, salt);
+        }
+        a.merge_from(&b);
+        let left = a.snapshot();
+        let right = combined.snapshot();
+        assert_eq!(left.counters, right.counters);
+        assert_eq!(left.hists, right.hists);
+        assert_eq!(left.levels, right.levels);
+        assert_eq!(left.spans, right.spans);
+        assert_eq!(left.attributed, right.attributed);
+        assert_eq!(left.device, right.device);
+        assert_eq!(left.roots, right.roots);
+        assert_eq!(left.root_count, right.root_count);
+        // Gauges take the latest merge's value = the latest recording's.
+        assert_eq!(left.gauges, right.gauges);
+        assert_eq!(left.to_json(), right.to_json());
+    }
+
+    #[test]
+    fn merge_folds_residuals_and_keeps_model() {
+        use dam_storage::profiles;
+        let params = crate::ModelParams::from_hdd(&profiles::toshiba_dt01aca050());
+        let a = Obs::with_model(params.clone());
+        let b = Obs::with_model(params);
+        a.record_io(false, 65536, 1000);
+        b.record_io(false, 65536, 1000);
+        b.record_io(true, 4096, 500);
+        a.merge_from(&b);
+        let r = a.snapshot().residual.expect("model installed");
+        assert_eq!(r.ios, 3);
+        // Merging a model-less registry must not clear the model.
+        a.merge_from(&Obs::new());
+        assert!(a.snapshot().residual.is_some());
+        // Self-merge is a no-op.
+        let before = a.snapshot();
+        a.merge_from(&a.clone());
+        assert_eq!(a.snapshot(), before);
+    }
+
+    #[test]
+    fn merge_into_empty_reproduces_source() {
+        let src = Obs::new();
+        {
+            let _s = src.span("x");
+            src.record_io(false, 128, 9);
+        }
+        src.record_io(true, 64, 3);
+        let dst = Obs::new();
+        dst.merge_from(&src);
+        assert_eq!(dst.snapshot().to_json(), src.snapshot().to_json());
     }
 
     #[test]

@@ -119,6 +119,18 @@ impl ResidualAcc {
         self.pdam_steps += m.pdam_steps(bytes);
         self.pdam_s += m.pdam_s(bytes);
     }
+
+    /// Fold another accumulator in. Callers that need determinism must fold
+    /// in a fixed order: the float sums are associative only per fold order.
+    pub fn merge(&mut self, other: &ResidualAcc) {
+        self.ios += other.ios;
+        self.measured_ns += other.measured_ns;
+        self.affine_s += other.affine_s;
+        self.dam_ios += other.dam_ios;
+        self.dam_s += other.dam_s;
+        self.pdam_steps += other.pdam_steps;
+        self.pdam_s += other.pdam_s;
+    }
 }
 
 /// Measured-vs-predicted report, included in the snapshot when model

@@ -185,6 +185,7 @@ mod tests {
 
     #[test]
     #[should_panic]
+    #[cfg(debug_assertions)] // the guard is a debug_assert; release strips it
     fn out_of_range_bfs_panics_in_debug() {
         let _ = veb_position(3, 7);
     }

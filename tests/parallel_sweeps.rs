@@ -1,0 +1,103 @@
+//! Serial/parallel equivalence of the sweep engine (the determinism
+//! contract in `dam-bench/src/sweep.rs`): the same experiment run at
+//! `jobs = 1` and `jobs = N` must produce identical result rows *and* an
+//! identical merged metrics snapshot. CI runs this at several worker
+//! counts (`DAM_EQUIV_JOBS`).
+
+use dam_bench::{experiments, sweep, Scale};
+use std::sync::Mutex;
+
+/// Serializes the tests: they flip the process-wide jobs override and
+/// reset the process-wide metrics registry.
+static GUARD: Mutex<()> = Mutex::new(());
+
+/// The parallel side's worker count (CI matrixes over this; the exact
+/// value must never matter).
+fn parallel_jobs() -> usize {
+    std::env::var("DAM_EQUIV_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|n| *n >= 2)
+        .unwrap_or(4)
+}
+
+/// Run `f` at the given job count with metrics on, returning its rows and
+/// the merged global snapshot JSON.
+fn run_with_metrics<R>(jobs: usize, f: impl Fn() -> Vec<R>) -> (Vec<R>, String) {
+    // Must be set before the first `global_obs()` call in this process;
+    // every caller holds GUARD, so there is no racing reader.
+    std::env::set_var("DAM_METRICS", "1");
+    let global = dam_bench::metrics::global_obs().expect("DAM_METRICS=1 must enable the registry");
+    global.reset();
+    sweep::set_global_jobs(Some(jobs));
+    let rows = f();
+    sweep::set_global_jobs(None);
+    let snap = global.snapshot();
+    snap.check_io_consistency()
+        .expect("merged snapshot must keep the attribution invariant");
+    (rows, snap.to_json())
+}
+
+/// Rows and merged metrics sidecar must be byte-identical across job
+/// counts for a node-size sweep over real trees (fig2).
+#[test]
+fn fig2_parallel_matches_serial_rows_and_metrics() {
+    let _guard = GUARD.lock().unwrap();
+    let scale = Scale {
+        n_keys: 8_000,
+        ops: 40,
+        ..Scale::smoke()
+    };
+    let (serial_rows, serial_snap) = run_with_metrics(1, || experiments::fig2(&scale));
+    let jobs = parallel_jobs();
+    let (par_rows, par_snap) = run_with_metrics(jobs, || experiments::fig2(&scale));
+    assert_eq!(
+        format!("{serial_rows:?}"),
+        format!("{par_rows:?}"),
+        "fig2 rows diverged at jobs={jobs}"
+    );
+    assert_eq!(
+        serial_snap, par_snap,
+        "fig2 merged metrics snapshot diverged at jobs={jobs}"
+    );
+}
+
+/// Same contract for the PDAM client sweep (lemma13), whose points have
+/// very uneven costs — a good test of order-independent merging.
+#[test]
+fn lemma13_parallel_matches_serial_rows_and_metrics() {
+    let _guard = GUARD.lock().unwrap();
+    let scale = Scale {
+        lemma13_steps: 400,
+        ..Scale::smoke()
+    };
+    let (serial_rows, serial_snap) = run_with_metrics(1, || experiments::lemma13(&scale));
+    let jobs = parallel_jobs();
+    let (par_rows, par_snap) = run_with_metrics(jobs, || experiments::lemma13(&scale));
+    assert_eq!(
+        format!("{serial_rows:?}"),
+        format!("{par_rows:?}"),
+        "lemma13 rows diverged at jobs={jobs}"
+    );
+    assert_eq!(
+        serial_snap, par_snap,
+        "lemma13 merged metrics snapshot diverged at jobs={jobs}"
+    );
+}
+
+/// Re-running the identical sweep twice at the same job count must also be
+/// byte-identical (no hidden process-wide state beyond the registry).
+#[test]
+fn repeated_runs_are_reproducible() {
+    let _guard = GUARD.lock().unwrap();
+    let scale = Scale {
+        n_keys: 8_000,
+        ops: 40,
+        ..Scale::smoke()
+    };
+    let jobs = parallel_jobs();
+    let (rows_a, snap_a) = run_with_metrics(jobs, || experiments::fig2(&scale));
+    let (rows_b, snap_b) = run_with_metrics(jobs, || experiments::fig2(&scale));
+    assert_eq!(format!("{rows_a:?}"), format!("{rows_b:?}"));
+    assert_eq!(snap_a, snap_b);
+}
