@@ -891,8 +891,11 @@ pub fn aging(scale: &Scale) -> Vec<AgingRow> {
         let hi = [0xFFu8; 17];
         let snap_ms = {
             let out = tree.range(&lo, &hi).expect("scan failed");
+            // Capture before len(): every Dictionary op resets the per-op
+            // cost, including zero-IO ones.
+            let ms = tree.last_op_cost().io_time_ms();
             assert_eq!(out.len() as u64, tree.len().unwrap());
-            tree.last_op_cost().io_time_ms()
+            ms
         };
         let scan_mb_s = data_bytes as f64 / 1e6 / (snap_ms / 1e3);
         // Cold point queries.

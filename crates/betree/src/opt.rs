@@ -503,12 +503,44 @@ impl OptBeTree {
     // Flush (the structural workhorse)
     // ------------------------------------------------------------------
 
-    /// Drain `desc.msgs` into the node it describes. Returns new right
-    /// siblings `(separator, desc)` for the caller to adopt.
-    fn flush_child(&mut self, desc: &mut ChildDesc) -> Result<Vec<(Vec<u8>, ChildDesc)>, KvError> {
+    /// Drain `desc.msgs` into the node it describes. New right siblings
+    /// `(separator, desc)` are pushed onto `out` for the caller to adopt.
+    ///
+    /// Error discipline (pinned by the `dam-check` fault modes): the
+    /// buffered messages are the only copy of acknowledged updates, and
+    /// `desc` must keep matching the node image in the cache. On error,
+    /// either nothing beneath this descriptor changed (`committed` stays
+    /// false; the descriptor and the live-key count are restored exactly)
+    /// or the subtree was rewritten (`committed` set; `desc` and `out`
+    /// reflect the committed state and the error is reported after the
+    /// fact). Either way, a surfaced device fault never strips acked
+    /// writes, and a redriven operation converges instead of silently
+    /// diverging.
+    fn flush_child(
+        &mut self,
+        desc: &mut ChildDesc,
+        out: &mut Vec<(Vec<u8>, ChildDesc)>,
+        committed: &mut bool,
+    ) -> Result<(), KvError> {
         if desc.msgs.is_empty() {
-            return Ok(Vec::new());
+            return Ok(());
         }
+        let backup = desc.clone();
+        let count_before = self.count;
+        let result = self.flush_child_inner(desc, out, committed);
+        if result.is_err() && !*committed {
+            *desc = backup;
+            self.count = count_before;
+        }
+        result
+    }
+
+    fn flush_child_inner(
+        &mut self,
+        desc: &mut ChildDesc,
+        out: &mut Vec<(Vec<u8>, ChildDesc)>,
+        committed: &mut bool,
+    ) -> Result<(), KvError> {
         let _flush = self.obs.as_ref().map(|o| o.descend("optbetree.drain"));
         let msgs = std::mem::take(&mut desc.msgs);
         let mut segs = self.read_whole(desc.addr, desc.used())?;
@@ -527,59 +559,110 @@ impl OptBeTree {
                 let delta = apply_msgs_to_entries(entries, &group, self.merge.as_ref());
                 self.count = (self.count as i64 + delta) as u64;
             }
-            self.persist_leaf(desc, segs)
+            self.persist_leaf(desc, segs, out, committed)
         } else {
+            // Deliver group by group so a failed cascade can hand its
+            // undelivered messages back to this buffer instead of losing
+            // them; `shift` tracks index displacement from adoptions.
+            let mut pending: Vec<Message> = Vec::new();
+            let mut deferred: Option<KvError> = None;
+            let mut shift = 0usize;
             for (j, group) in groups.into_iter().enumerate() {
                 if group.is_empty() {
                     continue;
                 }
-                let Seg::Desc(d) = &mut segs[j] else {
+                if deferred.is_some() {
+                    pending.extend(group);
+                    continue;
+                }
+                let jj = j + shift;
+                let Seg::Desc(d) = &mut segs[jj] else {
                     return Err(KvError::Corrupt(
                         "desc says internal but segment is not a desc".into(),
                     ));
                 };
+                let d_backup = d.clone();
                 let existing = std::mem::take(&mut d.msgs);
-                d.msgs = buffer_merge(existing, group);
-            }
-            // Cascade any over-budget child descriptors.
-            let mut j = 0usize;
-            while j < segs.len() {
-                let needs_flush = matches!(&segs[j], Seg::Desc(d) if d.size() > self.seg_bytes);
-                if needs_flush {
-                    let Seg::Desc(d) = &mut segs[j] else {
-                        unreachable!()
-                    };
-                    let sibs = self.flush_child(d)?;
-                    if let Seg::Desc(d) = &segs[j] {
-                        if d.size() > self.seg_bytes {
-                            return Err(KvError::Config(
-                                "drained descriptor still exceeds seg_bytes (fanout/keys too large)"
-                                    .into(),
-                            ));
+                d.msgs = buffer_merge(existing, group.clone());
+                if d.size() <= self.seg_bytes {
+                    continue;
+                }
+                let mut child_out = Vec::new();
+                let mut child_committed = false;
+                match self.flush_child(d, &mut child_out, &mut child_committed) {
+                    Ok(()) => {
+                        *committed = true;
+                        if let Seg::Desc(d) = &segs[jj] {
+                            if d.size() > self.seg_bytes {
+                                deferred = Some(KvError::Config(
+                                    "drained descriptor still exceeds seg_bytes \
+                                     (fanout/keys too large)"
+                                        .into(),
+                                ));
+                            }
                         }
                     }
-                    for (off, (sep, nd)) in sibs.into_iter().enumerate() {
-                        desc.boundaries.insert(j + off, sep);
-                        segs.insert(j + 1 + off, Seg::Desc(nd));
+                    Err(e) => {
+                        if !child_committed {
+                            // The child subtree is untouched; revert the
+                            // merge and carry the group back to our buffer.
+                            let Seg::Desc(d) = &mut segs[jj] else {
+                                unreachable!()
+                            };
+                            *d = d_backup;
+                            pending.extend(group);
+                            deferred = Some(e);
+                            continue;
+                        }
+                        // The child rewrote itself: from here this node
+                        // must be persisted to stay in sync with it.
+                        *committed = true;
+                        deferred = Some(e);
                     }
                 }
-                j += 1;
+                let k = child_out.len();
+                for (off, (sep, nd)) in child_out.into_iter().enumerate() {
+                    desc.boundaries.insert(jj + off, sep);
+                    segs.insert(jj + 1 + off, Seg::Desc(nd));
+                }
+                shift += k;
             }
-            self.persist_internal(desc, segs)
+            // Undelivered messages return to this buffer (persisted by our
+            // parent, or held in memory at the root).
+            desc.msgs = pending;
+            if let Some(e) = deferred {
+                if !*committed {
+                    // Nothing beneath us changed; the wrapper restores.
+                    return Err(e);
+                }
+                let _ = self.persist_internal(desc, segs, out, committed);
+                return Err(e);
+            }
+            self.persist_internal(desc, segs, out, committed)
         }
     }
 
     /// Persist a leaf's segments, repacking/splitting if any subleaf
-    /// overflows. Updates `desc.boundaries`; returns new sibling leaves.
+    /// overflows. Updates `desc.boundaries`; pushes new sibling leaves
+    /// onto `out`.
+    ///
+    /// Write ordering is load-bearing: fresh-address sibling nodes are
+    /// written before this descriptor's own node, so a failure before the
+    /// commit point leaves the original image (and `desc`) untouched —
+    /// the allocated nodes are orphaned garbage, not lost data. Once
+    /// `committed` is set, `desc`/`out` match what the cache holds (writes
+    /// apply to the cache even when a device fault surfaces).
     fn persist_leaf(
         &mut self,
         desc: &mut ChildDesc,
         segs: Vec<Seg>,
-    ) -> Result<Vec<(Vec<u8>, ChildDesc)>, KvError> {
+        out: &mut Vec<(Vec<u8>, ChildDesc)>,
+        committed: &mut bool,
+    ) -> Result<(), KvError> {
         let any_oversize = segs.iter().any(|s| s.size() > self.seg_bytes);
         if !any_oversize && segs.len() <= self.cap {
-            self.write_whole(desc.addr, &segs)?;
-            return Ok(Vec::new());
+            *committed = true;
+            return self.write_whole(desc.addr, &segs);
         }
         // Repack: concatenate (already key-ordered) and re-chunk.
         let mut all: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
@@ -612,82 +695,91 @@ impl OptBeTree {
             chunks.push(Vec::new());
         }
         // Group chunks into leaf nodes of at most `fanout` subleaves.
-        let mut out = Vec::new();
         #[allow(clippy::type_complexity)]
         let node_groups: Vec<&[Vec<(Vec<u8>, Vec<u8>)>]> =
             chunks.chunks(self.fanout.max(1)).collect();
-        for (gi, group) in node_groups.iter().enumerate() {
-            let addr = if gi == 0 {
-                desc.addr
-            } else {
-                self.alloc_node()?
-            };
-            let boundaries: Vec<Vec<u8>> = group[1..].iter().map(|c| c[0].0.clone()).collect();
-            let group_segs: Vec<Seg> = group.iter().map(|c| Seg::Subleaf(c.to_vec())).collect();
-            self.write_whole(addr, &group_segs)?;
-            if gi == 0 {
-                desc.boundaries = boundaries;
-            } else {
-                let sep = group[0][0].0.clone();
-                out.push((
-                    sep,
-                    ChildDesc {
-                        addr,
-                        is_leaf: true,
-                        boundaries,
-                        msgs: Vec::new(),
-                    },
-                ));
-            }
+        // Allocate every new address up front, then write the sibling
+        // nodes before rewriting our own.
+        let mut addrs = vec![desc.addr];
+        for _ in 1..node_groups.len() {
+            addrs.push(self.alloc_node()?);
         }
-        Ok(out)
+        for (gi, group) in node_groups.iter().enumerate().skip(1) {
+            let group_segs: Vec<Seg> = group.iter().map(|c| Seg::Subleaf(c.to_vec())).collect();
+            self.write_whole(addrs[gi], &group_segs)?;
+        }
+        // Commit point: publish the siblings, retarget the descriptor,
+        // then rewrite our own node last.
+        for (gi, group) in node_groups.iter().enumerate().skip(1) {
+            let boundaries: Vec<Vec<u8>> = group[1..].iter().map(|c| c[0].0.clone()).collect();
+            out.push((
+                group[0][0].0.clone(),
+                ChildDesc {
+                    addr: addrs[gi],
+                    is_leaf: true,
+                    boundaries,
+                    msgs: Vec::new(),
+                },
+            ));
+        }
+        desc.boundaries = node_groups[0][1..].iter().map(|c| c[0].0.clone()).collect();
+        *committed = true;
+        let group_segs: Vec<Seg> = node_groups[0]
+            .iter()
+            .map(|c| Seg::Subleaf(c.to_vec()))
+            .collect();
+        self.write_whole(desc.addr, &group_segs)
     }
 
     /// Persist an internal node's segments, splitting the node when it
-    /// exceeds capacity. Updates `desc.boundaries`; returns new siblings.
+    /// exceeds capacity. Updates `desc.boundaries`; pushes new siblings
+    /// onto `out`. Same write ordering and commit discipline as
+    /// [`Self::persist_leaf`].
     fn persist_internal(
         &mut self,
         desc: &mut ChildDesc,
         segs: Vec<Seg>,
-    ) -> Result<Vec<(Vec<u8>, ChildDesc)>, KvError> {
+        out: &mut Vec<(Vec<u8>, ChildDesc)>,
+        committed: &mut bool,
+    ) -> Result<(), KvError> {
         debug_assert_eq!(segs.len(), desc.boundaries.len() + 1);
         if segs.len() <= self.cap {
-            self.write_whole(desc.addr, &segs)?;
-            return Ok(Vec::new());
+            *committed = true;
+            return self.write_whole(desc.addr, &segs);
         }
         // Split into nodes of at most `fanout` segments.
         let group_size = self.fanout.max(2);
-        let boundaries = std::mem::take(&mut desc.boundaries);
-        let mut out = Vec::new();
+        let mut ranges: Vec<(usize, usize)> = Vec::new();
         let mut start = 0usize;
-        let mut gi = 0usize;
         while start < segs.len() {
             let end = (start + group_size).min(segs.len());
-            let addr = if gi == 0 {
-                desc.addr
-            } else {
-                self.alloc_node()?
-            };
-            let part_bounds: Vec<Vec<u8>> = boundaries[start..end - 1].to_vec();
-            self.write_whole(addr, &segs[start..end])?;
-            if gi == 0 {
-                desc.boundaries = part_bounds;
-            } else {
-                let sep = boundaries[start - 1].clone();
-                out.push((
-                    sep,
-                    ChildDesc {
-                        addr,
-                        is_leaf: false,
-                        boundaries: part_bounds,
-                        msgs: Vec::new(),
-                    },
-                ));
-            }
+            ranges.push((start, end));
             start = end;
-            gi += 1;
         }
-        Ok(out)
+        let mut addrs = vec![desc.addr];
+        for _ in 1..ranges.len() {
+            addrs.push(self.alloc_node()?);
+        }
+        for (gi, &(s, e)) in ranges.iter().enumerate().skip(1) {
+            self.write_whole(addrs[gi], &segs[s..e])?;
+        }
+        // Commit point.
+        let boundaries = std::mem::take(&mut desc.boundaries);
+        for (gi, &(s, e)) in ranges.iter().enumerate().skip(1) {
+            out.push((
+                boundaries[s - 1].clone(),
+                ChildDesc {
+                    addr: addrs[gi],
+                    is_leaf: false,
+                    boundaries: boundaries[s..e - 1].to_vec(),
+                    msgs: Vec::new(),
+                },
+            ));
+        }
+        let (s0, e0) = ranges[0];
+        desc.boundaries = boundaries[s0..e0 - 1].to_vec();
+        *committed = true;
+        self.write_whole(desc.addr, &segs[s0..e0])
     }
 
     fn alloc_node(&mut self) -> Result<u64, KvError> {
@@ -715,10 +807,12 @@ impl OptBeTree {
             boundaries.push(sep);
             segs.push(Seg::Desc(d));
         }
-        self.write_whole(addr, &segs)?;
+        // Update the in-memory root before the write: the write lands in
+        // the cache even when a device fault surfaces, so the descriptor
+        // must already describe the new node.
         self.root.boundaries = boundaries;
         self.height += 1;
-        Ok(())
+        self.write_whole(addr, &segs)
     }
 
     // ------------------------------------------------------------------
@@ -758,20 +852,25 @@ impl OptBeTree {
             },
         );
         buffer_insert(&mut root.msgs, msg);
+        let mut siblings = Vec::new();
+        let mut committed = false;
         let result = if root.size() > self.seg_bytes {
-            self.flush_child(&mut root)
+            self.flush_child(&mut root, &mut siblings, &mut committed)
         } else {
-            Ok(Vec::new())
+            Ok(())
         };
         self.root = root;
-        let siblings = result?;
-        self.grow_root(siblings)
+        // Adopt committed splits even when the flush reported an error:
+        // the sibling nodes are already written and the root descriptor
+        // already routes around them.
+        let grow = self.grow_root(siblings);
+        result.and(grow)
     }
 
     /// Upsert: merge `delta` into the key's value via the configured
     /// [`MergeOperator`].
     pub fn upsert(&mut self, key: &[u8], delta: &[u8]) -> Result<(), KvError> {
-        let snap = self.pager.snapshot();
+        let snap = self.begin_op();
         self.enqueue(key, Operation::Upsert(delta.to_vec()))?;
         self.finish_op(&snap);
         Ok(())
@@ -890,49 +989,86 @@ impl OptBeTree {
                 msgs: Vec::new(),
             },
         );
-        let result = self.drain_desc(&mut root);
+        let mut siblings = Vec::new();
+        let result = self.drain_desc(&mut root, &mut siblings);
         self.root = root;
-        let siblings = result?;
-        self.grow_root(siblings)
+        // As in `enqueue`, committed splits must be adopted even when the
+        // drain surfaced an error partway down.
+        let grow = self.grow_root(siblings);
+        result.and(grow)
     }
 
-    fn drain_desc(&mut self, desc: &mut ChildDesc) -> Result<Vec<(Vec<u8>, ChildDesc)>, KvError> {
-        let siblings = self.flush_child(desc)?;
+    /// Drain `desc` and its whole subtree. Splits produced anywhere along
+    /// the way are pushed onto `out` (drained themselves on the success
+    /// path, possibly undrained when an error is propagated — either way
+    /// they are committed nodes the caller must adopt).
+    fn drain_desc(
+        &mut self,
+        desc: &mut ChildDesc,
+        out: &mut Vec<(Vec<u8>, ChildDesc)>,
+    ) -> Result<(), KvError> {
+        let mut committed = false;
+        let mut sibs = Vec::new();
+        if let Err(e) = self.flush_child(desc, &mut sibs, &mut committed) {
+            out.extend(sibs);
+            return Err(e);
+        }
         if !desc.is_leaf {
-            let mut segs = self.read_whole(desc.addr, desc.used())?;
+            let mut segs = match self.read_whole(desc.addr, desc.used()) {
+                Ok(s) => s,
+                Err(e) => {
+                    out.extend(sibs);
+                    return Err(e);
+                }
+            };
             let mut j = 0usize;
             while j < segs.len() {
                 let Seg::Desc(d) = &mut segs[j] else {
+                    out.extend(sibs);
                     return Err(KvError::Corrupt("expected descriptor segment".into()));
                 };
-                let sibs = self.drain_desc(d)?;
-                let k = sibs.len();
-                for (off, (sep, nd)) in sibs.into_iter().enumerate() {
+                let mut child_sibs = Vec::new();
+                let child = self.drain_desc(d, &mut child_sibs);
+                let k = child_sibs.len();
+                for (off, (sep, nd)) in child_sibs.into_iter().enumerate() {
                     desc.boundaries.insert(j + off, sep);
                     segs.insert(j + 1 + off, Seg::Desc(nd));
                 }
+                if let Err(e) = child {
+                    // The child may have rewritten itself; persist this
+                    // node so its stored descriptors stay in sync.
+                    let mut c = false;
+                    let _ = self.persist_internal(desc, segs, out, &mut c);
+                    out.extend(sibs);
+                    return Err(e);
+                }
                 j += 1 + k;
             }
-            let more = self.persist_internal(desc, segs)?;
-            // Siblings from a node split contain already-drained descs.
-            let mut full = siblings;
-            full.extend(more);
-            return self.drain_siblings(full);
+            let mut c = false;
+            if let Err(e) = self.persist_internal(desc, segs, out, &mut c) {
+                out.extend(sibs);
+                return Err(e);
+            }
         }
-        self.drain_siblings(siblings)
+        // Siblings from a node split contain already-drained descs, but a
+        // leaf split can leave buffered messages on new siblings' parents;
+        // drain them too so `out` only carries fully drained descs.
+        self.drain_siblings(sibs, out)
     }
 
     fn drain_siblings(
         &mut self,
         siblings: Vec<(Vec<u8>, ChildDesc)>,
-    ) -> Result<Vec<(Vec<u8>, ChildDesc)>, KvError> {
-        let mut full = Vec::new();
+        out: &mut Vec<(Vec<u8>, ChildDesc)>,
+    ) -> Result<(), KvError> {
         for (sep, mut sd) in siblings {
-            let more = self.drain_desc(&mut sd)?;
-            full.push((sep, sd));
-            full.extend(more);
+            let mut more = Vec::new();
+            let r = self.drain_desc(&mut sd, &mut more);
+            out.push((sep, sd));
+            out.extend(more);
+            r?;
         }
-        Ok(full)
+        Ok(())
     }
 
     /// Build a tree bottom-up from strictly ascending pairs.
@@ -1148,6 +1284,14 @@ impl OptBeTree {
         Ok(total)
     }
 
+    /// Reset per-op cost accounting and snapshot the pager counters. Called
+    /// at the start of every `Dictionary` operation so a failed op reports
+    /// zero cost instead of the previous op's stale numbers.
+    fn begin_op(&mut self) -> dam_cache::CostSnapshot {
+        self.last_cost = OpCost::default();
+        self.pager.snapshot()
+    }
+
     fn finish_op(&mut self, snap: &dam_cache::CostSnapshot) {
         let d = self.pager.cost_since(snap);
         self.last_cost = OpCost {
@@ -1164,28 +1308,28 @@ impl OptBeTree {
 
 impl Dictionary for OptBeTree {
     fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<(), KvError> {
-        let snap = self.pager.snapshot();
+        let snap = self.begin_op();
         self.enqueue(key, Operation::Put(value.to_vec()))?;
         self.finish_op(&snap);
         Ok(())
     }
 
     fn delete(&mut self, key: &[u8]) -> Result<(), KvError> {
-        let snap = self.pager.snapshot();
+        let snap = self.begin_op();
         self.enqueue(key, Operation::Delete)?;
         self.finish_op(&snap);
         Ok(())
     }
 
     fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
-        let snap = self.pager.snapshot();
+        let snap = self.begin_op();
         let r = self.get_inner(key);
         self.finish_op(&snap);
         r
     }
 
     fn range(&mut self, start: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>, KvError> {
-        let snap = self.pager.snapshot();
+        let snap = self.begin_op();
         let mut out = Vec::new();
         if start < end {
             let root = self.root.clone();
@@ -1200,7 +1344,7 @@ impl Dictionary for OptBeTree {
     }
 
     fn sync(&mut self) -> Result<(), KvError> {
-        let snap = self.pager.snapshot();
+        let snap = self.begin_op();
         // Durability contract: a successful sync leaves a superblock from
         // which `open` recovers this exact state (including root-buffered
         // messages, which ride in the superblock's root descriptor).
@@ -1211,7 +1355,9 @@ impl Dictionary for OptBeTree {
 
     /// Exact live-key count; drains all pending messages first.
     fn len(&mut self) -> Result<u64, KvError> {
+        let snap = self.begin_op();
         self.drain_all()?;
+        self.finish_op(&snap);
         Ok(self.count)
     }
 }
@@ -1221,7 +1367,7 @@ mod tests {
     use super::*;
     use dam_kv::key_from_u64;
     use dam_kv::msg::CounterMerge;
-    use dam_storage::{RamDisk, SimDuration};
+    use dam_storage::{FaultInjector, FaultMode, RamDisk, SimDuration};
 
     fn tree(fanout: usize, seg_bytes: usize) -> OptBeTree {
         let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 28, SimDuration(1000))));
@@ -1233,6 +1379,59 @@ mod tests {
             key_from_u64(i).to_vec(),
             format!("value-{i:08}").into_bytes(),
         )
+    }
+
+    #[test]
+    fn surfaced_faults_never_lose_acked_updates() {
+        // Regression (found by dam-check): a device fault surfaced during
+        // a buffer flush used to drop buffered messages or leave a
+        // descriptor out of sync with its node image — keys vanished and
+        // stale values reappeared. Every mutation is retried until it
+        // reports Ok; the final state must then match a shadow map
+        // exactly, faults or not.
+        let (inj, switch) = FaultInjector::new(RamDisk::new(1 << 26, SimDuration(200)));
+        let dev = SharedDevice::new(Box::new(inj));
+        let mut t = OptBeTree::create(dev, OptConfig::new(4, 1024, 1 << 16)).unwrap();
+        switch.set(FaultMode::Probabilistic {
+            num: 1,
+            denom: 48,
+            seed: 7,
+        });
+        let mut shadow: std::collections::BTreeMap<Vec<u8>, Vec<u8>> =
+            std::collections::BTreeMap::new();
+        let mut rng = 0x1234_5678u64;
+        let mut next = move || {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            rng >> 33
+        };
+        for i in 0..4000u64 {
+            let k = key_from_u64(next() % 700).to_vec();
+            if next() % 10 < 7 {
+                let v = format!("v{i:06}").into_bytes();
+                let mut tries = 0;
+                while let Err(e) = t.insert(&k, &v) {
+                    tries += 1;
+                    assert!(tries < 200, "insert never converged: {e}");
+                }
+                shadow.insert(k, v);
+            } else {
+                let mut tries = 0;
+                while let Err(e) = t.delete(&k) {
+                    tries += 1;
+                    assert!(tries < 200, "delete never converged: {e}");
+                }
+                shadow.remove(&k);
+            }
+        }
+        switch.set(FaultMode::None);
+        let dump = t.range(&[], &[0xFF; 17]).unwrap();
+        let want: Vec<(Vec<u8>, Vec<u8>)> =
+            shadow.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        assert_eq!(dump, want);
+        assert_eq!(t.len().unwrap(), shadow.len() as u64);
+        t.check_invariants().unwrap();
     }
 
     #[test]
@@ -1531,5 +1730,24 @@ mod tests {
         t.check_invariants().unwrap();
         // Idempotent.
         assert_eq!(t.len().unwrap(), 600);
+    }
+
+    /// Regression (dam-check): `len` drains pending messages, so its IO
+    /// must be attributed to `last_op_cost` — and a failed operation must
+    /// report zero cost rather than the previous operation's numbers.
+    #[test]
+    fn len_and_failed_ops_follow_cost_contract() {
+        let mut t = tree(4, 1024);
+        for i in 0..800 {
+            let (k, v) = kv(i);
+            t.insert(&k, &v).unwrap();
+        }
+        // Cold cache: the drain inside `len` must hit the device.
+        t.drop_cache().unwrap();
+        assert_eq!(t.len().unwrap(), 800);
+        assert!(t.last_op_cost().ios > 0, "len's drain should be attributed");
+        let err = t.insert(b"big", &vec![0u8; 4096]);
+        assert!(matches!(err, Err(KvError::Config(_))));
+        assert_eq!(t.last_op_cost(), OpCost::default(), "failed op is free");
     }
 }

@@ -58,6 +58,13 @@ fn map_pager(e: PagerError) -> KvError {
     KvError::Storage(e.to_string())
 }
 
+/// `(pivot, id)` pairs for new right siblings produced by a split.
+type Splits = Vec<(Vec<u8>, NodeId)>;
+
+/// A split that committed to cache: the siblings to adopt, plus any
+/// surfaced-but-absorbed write fault to report once consistent.
+type SplitOutcome = Result<(Splits, Option<KvError>), KvError>;
+
 /// A standard Bε-tree (see crate docs).
 pub struct BeTree {
     pager: Pager,
@@ -251,8 +258,14 @@ impl BeTree {
     // ------------------------------------------------------------------
 
     /// Multi-way split of an oversize leaf; the node keeps the first chunk,
-    /// the rest are written to fresh slots. Returns `(pivot, id)` pairs.
-    fn split_leaf(&mut self, node: &mut BeNode) -> Result<Vec<(Vec<u8>, NodeId)>, KvError> {
+    /// the rest are written to fresh slots.
+    ///
+    /// On `Ok` the split is fully committed to cache: every sibling image
+    /// is written (a surfaced device fault comes back in the deferred
+    /// slot, the bytes still landed) and the `(pivot, id)` pairs must be
+    /// adopted by the caller. On `Err` the node is restored untouched and
+    /// nothing was written.
+    fn split_leaf(&mut self, node: &mut BeNode) -> SplitOutcome {
         let BeNode::Leaf { entries } = node else {
             unreachable!()
         };
@@ -279,24 +292,50 @@ impl BeTree {
             if node.serialized_size() > self.node_bytes {
                 return Err(KvError::Config("single entry exceeds node_bytes".into()));
             }
-            return Ok(vec![]);
+            return Ok((vec![], None));
+        }
+        // Alloc every sibling slot up front so an allocator failure can
+        // abort cleanly before anything is written.
+        let mut ids = Vec::with_capacity(chunks.len() - 1);
+        for _ in 1..chunks.len() {
+            match self.alloc_node() {
+                Ok(id) => ids.push(id),
+                Err(e) => {
+                    for id in ids {
+                        self.pager.free(id, self.node_bytes as u64);
+                    }
+                    let BeNode::Leaf { entries } = node else {
+                        unreachable!()
+                    };
+                    *entries = chunks.concat();
+                    return Err(e);
+                }
+            }
         }
         let mut iter = chunks.into_iter();
         *entries = iter.next().expect("at least one chunk");
         let mut out = Vec::new();
-        for chunk in iter {
+        let mut deferred = None;
+        for (chunk, id) in iter.zip(ids) {
             let pivot = chunk[0].0.clone();
-            let id = self.alloc_node()?;
-            self.write_node(id, &BeNode::Leaf { entries: chunk })?;
+            if let Err(e) = self.write_node(id, &BeNode::Leaf { entries: chunk }) {
+                // The image still landed in cache; surface the fault once
+                // the structure is consistent.
+                deferred.get_or_insert(e);
+            }
             out.push((pivot, id));
         }
-        Ok(out)
+        Ok((out, deferred))
     }
 
     /// Multi-way split of an internal node by per-child byte groups
     /// (structural + buffer); buffers travel with their children, so no
     /// draining is needed.
-    fn split_internal(&mut self, node: &mut BeNode) -> Result<Vec<(Vec<u8>, NodeId)>, KvError> {
+    ///
+    /// Same commit contract as [`Self::split_leaf`]: `Ok` means fully
+    /// committed to cache (deferred slot carries any surfaced sibling
+    /// write fault), `Err` means the node was left untouched.
+    fn split_internal(&mut self, node: &mut BeNode) -> SplitOutcome {
         let BeNode::Internal {
             pivots,
             children,
@@ -338,35 +377,59 @@ impl BeTree {
                 "internal node cannot be split into fitting parts (keys/buffers too large)".into(),
             ));
         }
-        let old_pivots = std::mem::take(pivots);
-        let old_children = std::mem::take(children);
-        let old_buffers = std::mem::take(buffers);
-        let mut out = Vec::new();
+        // Build and validate every part before touching the node, so any
+        // failure below aborts with the node untouched.
+        let mut parts: Vec<(Vec<u8>, BeNode)> = Vec::new();
         for (gi, &start) in groups.iter().enumerate() {
             let end = groups.get(gi + 1).copied().unwrap_or(n);
-            let part_pivots: Vec<Vec<u8>> = old_pivots[start..end - 1].to_vec();
-            let part_children: Vec<NodeId> = old_children[start..end].to_vec();
-            let part_buffers: Vec<Vec<Message>> = old_buffers[start..end].to_vec();
-            if gi == 0 {
-                *pivots = part_pivots;
-                *children = part_children;
-                *buffers = part_buffers;
-            } else {
-                let pivot = old_pivots[start - 1].clone();
-                let id = self.alloc_node()?;
-                let part = BeNode::Internal {
-                    pivots: part_pivots,
-                    children: part_children,
-                    buffers: part_buffers,
-                };
-                if part.serialized_size() > self.node_bytes {
-                    return Err(KvError::Config("split part still oversize".into()));
-                }
-                self.write_node(id, &part)?;
-                out.push((pivot, id));
+            let part = BeNode::Internal {
+                pivots: pivots[start..end - 1].to_vec(),
+                children: children[start..end].to_vec(),
+                buffers: buffers[start..end].to_vec(),
+            };
+            if part.serialized_size() > self.node_bytes {
+                return Err(KvError::Config("split part still oversize".into()));
+            }
+            if gi > 0 {
+                parts.push((pivots[start - 1].clone(), part));
             }
         }
-        Ok(out)
+        let mut ids = Vec::with_capacity(parts.len());
+        for _ in 0..parts.len() {
+            match self.alloc_node() {
+                Ok(id) => ids.push(id),
+                Err(e) => {
+                    for id in ids {
+                        self.pager.free(id, self.node_bytes as u64);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        // Commit: truncate the node to group 0 and write the siblings
+        // (their images land in cache even when the device surfaces a
+        // fault).
+        let first_end = groups.get(1).copied().unwrap_or(n);
+        let BeNode::Internal {
+            pivots,
+            children,
+            buffers,
+        } = node
+        else {
+            unreachable!()
+        };
+        pivots.truncate(first_end - 1);
+        children.truncate(first_end);
+        buffers.truncate(first_end);
+        let mut out = Vec::new();
+        let mut deferred = None;
+        for ((pivot, part), id) in parts.into_iter().zip(ids) {
+            if let Err(e) = self.write_node(id, &part) {
+                deferred.get_or_insert(e);
+            }
+            out.push((pivot, id));
+        }
+        Ok((out, deferred))
     }
 
     /// Route `(key, seq)`-sorted `msgs` into an internal node's per-child
@@ -398,15 +461,26 @@ impl BeTree {
         }
     }
 
-    /// Deliver messages into the subtree rooted at `id`; returns new right
-    /// siblings for the caller to adopt.
+    /// Deliver messages into the subtree rooted at `id`; new right
+    /// siblings for the caller to adopt are pushed onto `out`.
+    ///
+    /// Commit contract: on `Err` with `*committed == false`, neither the
+    /// subtree's cache state nor `self.count` changed — the caller still
+    /// owns `msgs` and must put them back. On `Err` with
+    /// `*committed == true`, the delivery fully landed in cache
+    /// (including any siblings pushed onto `out`, which the caller must
+    /// still adopt) and the error reports an already-absorbed device
+    /// fault.
     fn apply_msgs_to_child(
         &mut self,
         id: NodeId,
         msgs: Vec<Message>,
-    ) -> Result<Vec<(Vec<u8>, NodeId)>, KvError> {
+        out: &mut Vec<(Vec<u8>, NodeId)>,
+        committed: &mut bool,
+    ) -> Result<(), KvError> {
         let _flush = self.obs.as_ref().map(|o| o.descend("betree.drain"));
         let mut node = self.read_node(id)?;
+        let count_before = self.count;
         match &mut node {
             BeNode::Leaf { entries } => {
                 let delta = Self::apply_to_entries(entries, &msgs, self.merge.as_ref());
@@ -416,16 +490,31 @@ impl BeTree {
                 Self::route_into_buffers(&mut node, msgs);
             }
         }
-        self.fix_and_write(id, &mut node)
+        let result = self.fix_and_write(id, &mut node, out, committed);
+        if result.is_err() && !*committed {
+            // Clean abort: the leaf delta (if any) was never persisted and
+            // the messages will be redelivered — don't count them twice.
+            self.count = count_before;
+        }
+        result
     }
 
-    /// Restore invariants on `node`, persist it, and return any new right
-    /// siblings produced by splits.
+    /// Restore invariants on `node` and persist it; any new right
+    /// siblings produced by splits are pushed onto `out` for the caller
+    /// to adopt.
+    ///
+    /// Same commit contract as [`Self::apply_msgs_to_child`]. Callers may
+    /// pre-set `*committed = true` to force persistence of in-memory
+    /// changes they have already made to `node`.
     fn fix_and_write(
         &mut self,
         id: NodeId,
         node: &mut BeNode,
-    ) -> Result<Vec<(Vec<u8>, NodeId)>, KvError> {
+        out: &mut Vec<(Vec<u8>, NodeId)>,
+        committed: &mut bool,
+    ) -> Result<(), KvError> {
+        let mut deferred: Option<KvError> = None;
+        let mut force_split = false;
         let splits = loop {
             let size = node.serialized_size();
             let buffered = node.buffer_bytes();
@@ -434,7 +523,21 @@ impl BeTree {
                     if size <= self.node_bytes {
                         break Vec::new();
                     }
-                    break self.split_leaf(node)?;
+                    match self.split_leaf(node) {
+                        Ok((s, d)) => {
+                            deferred = deferred.or(d);
+                            break s;
+                        }
+                        Err(e) => {
+                            // split_leaf restored the node; if committed
+                            // changes are pending, persist them best-effort
+                            // before reporting.
+                            if *committed {
+                                let _ = self.write_node(id, node);
+                            }
+                            return Err(deferred.unwrap_or(e));
+                        }
+                    }
                 }
                 BeNode::Internal {
                     children, buffers, ..
@@ -443,8 +546,19 @@ impl BeTree {
                     if size <= self.node_bytes && fanout_ok {
                         break Vec::new();
                     }
-                    if !fanout_ok || buffered == 0 {
-                        break self.split_internal(node)?;
+                    if !fanout_ok || buffered == 0 || force_split {
+                        match self.split_internal(node) {
+                            Ok((s, d)) => {
+                                deferred = deferred.or(d);
+                                break s;
+                            }
+                            Err(e) => {
+                                if *committed {
+                                    let _ = self.write_node(id, node);
+                                }
+                                return Err(deferred.unwrap_or(e));
+                            }
+                        }
                     }
                     // Flush the child with the most buffered bytes (§3:
                     // "typically v is chosen to be the child with the most
@@ -457,7 +571,47 @@ impl BeTree {
                         .expect("internal node has children");
                     let child_id = children[idx];
                     let msgs = std::mem::take(&mut buffers[idx]);
-                    let child_splits = self.apply_msgs_to_child(child_id, msgs)?;
+                    let mut child_out = Vec::new();
+                    let mut child_committed = false;
+                    match self.apply_msgs_to_child(
+                        child_id,
+                        msgs.clone(),
+                        &mut child_out,
+                        &mut child_committed,
+                    ) {
+                        Ok(()) => {
+                            // The child absorbed the batch; this node's
+                            // emptied buffer must now be persisted.
+                            *committed = true;
+                        }
+                        Err(e) if child_committed => {
+                            // Delivery landed despite a surfaced fault;
+                            // adopt the child's siblings below and keep
+                            // fixing — report the fault once consistent.
+                            *committed = true;
+                            deferred.get_or_insert(e);
+                        }
+                        Err(e) => {
+                            // Subtree untouched: the taken buffer is the
+                            // only copy of acked updates — put it back.
+                            let BeNode::Internal { buffers, .. } = node else {
+                                unreachable!()
+                            };
+                            let existing = std::mem::take(&mut buffers[idx]);
+                            buffers[idx] = buffer_merge(existing, msgs);
+                            if !*committed {
+                                // Nothing changed anywhere; clean abort.
+                                return Err(e);
+                            }
+                            // Earlier cascades committed, so this node must
+                            // be persisted — but cascading again would pick
+                            // the same failing child. Split instead so the
+                            // node fits, then write it out.
+                            deferred.get_or_insert(e);
+                            force_split = true;
+                            continue;
+                        }
+                    }
                     let BeNode::Internal {
                         pivots,
                         children,
@@ -466,7 +620,7 @@ impl BeTree {
                     else {
                         unreachable!()
                     };
-                    for (off, (pivot, cid)) in child_splits.into_iter().enumerate() {
+                    for (off, (pivot, cid)) in child_out.into_iter().enumerate() {
                         pivots.insert(idx + off, pivot);
                         children.insert(idx + 1 + off, cid);
                         buffers.insert(idx + 1 + off, Vec::new());
@@ -474,8 +628,16 @@ impl BeTree {
                 }
             }
         };
-        self.write_node(id, node)?;
-        Ok(splits)
+        // Commit point: any split siblings are already in cache; hand them
+        // to the caller, then write this node (the image lands in cache
+        // even when the device surfaces a fault).
+        out.extend(splits);
+        *committed = true;
+        let write = self.write_node(id, node);
+        match deferred {
+            Some(e) => Err(e),
+            None => write,
+        }
     }
 
     /// Grow the root when it splits.
@@ -491,17 +653,20 @@ impl BeTree {
         }
         let buffers = vec![Vec::new(); children.len()];
         let new_root = self.alloc_node()?;
-        self.write_node(
+        // Commit the new root even when its write surfaces a fault (the
+        // image lands in cache either way): the old root must not keep
+        // masking the freshly written siblings.
+        let write = self.write_node(
             new_root,
             &BeNode::Internal {
                 pivots,
                 children,
                 buffers,
             },
-        )?;
+        );
         self.root = new_root;
         self.height += 1;
-        Ok(())
+        write
     }
 
     // ------------------------------------------------------------------
@@ -532,6 +697,7 @@ impl BeTree {
         self.next_seq += 1;
         let root = self.root;
         let mut node = self.read_node(root)?;
+        let count_before = self.count;
         match &mut node {
             BeNode::Leaf { entries } => {
                 let delta = Self::apply_to_entries(
@@ -549,14 +715,26 @@ impl BeTree {
                 buffer_insert(&mut buffers[idx], msg);
             }
         }
-        let splits = self.fix_and_write(root, &mut node)?;
-        self.grow_root(splits)
+        let mut splits = Vec::new();
+        let mut root_committed = false;
+        let result = self.fix_and_write(root, &mut node, &mut splits, &mut root_committed);
+        if result.is_err() && !root_committed {
+            // Clean abort: the cache root is unchanged and the op is not
+            // acked — undo the in-memory count delta so a redrive doesn't
+            // double-count it.
+            self.count = count_before;
+            return result;
+        }
+        // Even a fault-carrying Err is committed here: adopt root splits
+        // before reporting it, or the new siblings become unreachable.
+        let grow = self.grow_root(splits);
+        result.and(grow)
     }
 
     /// Upsert: merge `delta` into the key's value via the configured
     /// [`MergeOperator`] — the blind-write fast path WODs exist for.
     pub fn upsert(&mut self, key: &[u8], delta: &[u8]) -> Result<(), KvError> {
-        let snap = self.pager.snapshot();
+        let snap = self.begin_op();
         self.enqueue(key, Operation::Upsert(delta.to_vec()))?;
         self.finish_op(&snap);
         Ok(())
@@ -676,16 +854,41 @@ impl BeTree {
     /// Push every buffered message down to the leaves.
     pub fn drain_all(&mut self) -> Result<(), KvError> {
         let root = self.root;
-        let splits = self.drain_rec(root)?;
-        self.grow_root(splits)
+        let mut splits = Vec::new();
+        let result = self.drain_rec(root, &mut splits);
+        // Siblings pushed onto `splits` are committed in cache even when
+        // the drain errored partway — adopt them before reporting.
+        let grow = self.grow_root(splits);
+        result.and(grow)
     }
 
-    fn drain_rec(&mut self, id: NodeId) -> Result<Vec<(Vec<u8>, NodeId)>, KvError> {
+    /// Drain the subtree rooted at `id`; new right siblings are pushed
+    /// onto `out`. Whatever is in `out` on return — `Ok` or `Err` — is
+    /// committed in cache and must be adopted by the caller.
+    fn drain_rec(&mut self, id: NodeId, out: &mut Vec<(Vec<u8>, NodeId)>) -> Result<(), KvError> {
         let _flush = self.obs.as_ref().map(|o| o.descend("betree.drain"));
         let mut node = self.read_node(id)?;
         if node.is_leaf() {
-            return Ok(vec![]);
+            return Ok(());
         }
+        // Whether committed subtree changes (emptied buffers, adopted
+        // splits) make persisting this node mandatory.
+        let mut dirty = false;
+        let adopt = |node: &mut BeNode, at: usize, sibs: Vec<(Vec<u8>, NodeId)>| {
+            let BeNode::Internal {
+                pivots,
+                children,
+                buffers,
+            } = node
+            else {
+                unreachable!()
+            };
+            for (off, (pivot, cid)) in sibs.into_iter().enumerate() {
+                pivots.insert(at + off, pivot);
+                children.insert(at + 1 + off, cid);
+                buffers.insert(at + 1 + off, Vec::new());
+            }
+        };
         // Flush every nonempty buffer, restarting whenever splits reshuffle
         // child indices.
         loop {
@@ -700,20 +903,33 @@ impl BeTree {
             };
             let child_id = children[idx];
             let msgs = std::mem::take(&mut buffers[idx]);
-            let child_splits = self.apply_msgs_to_child(child_id, msgs)?;
-            let BeNode::Internal {
-                pivots,
-                children,
-                buffers,
-            } = &mut node
-            else {
-                unreachable!()
-            };
-            for (off, (pivot, cid)) in child_splits.into_iter().enumerate() {
-                pivots.insert(idx + off, pivot);
-                children.insert(idx + 1 + off, cid);
-                buffers.insert(idx + 1 + off, Vec::new());
+            let mut child_out = Vec::new();
+            let mut child_committed = false;
+            let result = self.apply_msgs_to_child(
+                child_id,
+                msgs.clone(),
+                &mut child_out,
+                &mut child_committed,
+            );
+            if let Err(e) = result {
+                if child_committed {
+                    dirty = true;
+                    adopt(&mut node, idx, child_out);
+                } else {
+                    let BeNode::Internal { buffers, .. } = &mut node else {
+                        unreachable!()
+                    };
+                    let existing = std::mem::take(&mut buffers[idx]);
+                    buffers[idx] = buffer_merge(existing, msgs);
+                }
+                if dirty {
+                    let mut committed = true;
+                    let _ = self.fix_and_write(id, &mut node, out, &mut committed);
+                }
+                return Err(e);
             }
+            dirty = true;
+            adopt(&mut node, idx, child_out);
         }
         // Recurse into (now stable) children. Splits from child `i` shift
         // every later child right, so walk by live index, not a snapshot.
@@ -728,25 +944,25 @@ impl BeTree {
                     None => break,
                 }
             };
-            let child_splits = self.drain_rec(cid)?;
-            let BeNode::Internal {
-                pivots,
-                children,
-                buffers,
-            } = &mut node
-            else {
-                unreachable!()
-            };
-            let adopted = child_splits.len();
-            for (off, (pivot, ncid)) in child_splits.into_iter().enumerate() {
-                pivots.insert(i + off, pivot);
-                children.insert(i + 1 + off, ncid);
-                buffers.insert(i + 1 + off, Vec::new());
+            let mut child_out = Vec::new();
+            let result = self.drain_rec(cid, &mut child_out);
+            let adopted = child_out.len();
+            if adopted > 0 {
+                dirty = true;
+            }
+            adopt(&mut node, i, child_out);
+            if let Err(e) = result {
+                if dirty {
+                    let mut committed = true;
+                    let _ = self.fix_and_write(id, &mut node, out, &mut committed);
+                }
+                return Err(e);
             }
             // New siblings are already drained subtrees — skip past them.
             i += 1 + adopted;
         }
-        self.fix_and_write(id, &mut node)
+        let mut committed = dirty;
+        self.fix_and_write(id, &mut node, out, &mut committed)
     }
 
     // ------------------------------------------------------------------
@@ -947,6 +1163,14 @@ impl BeTree {
         }
     }
 
+    /// Reset per-op cost accounting and snapshot the pager counters. Called
+    /// at the start of every `Dictionary` operation so a failed op reports
+    /// zero cost instead of the previous op's stale numbers.
+    fn begin_op(&mut self) -> dam_cache::CostSnapshot {
+        self.last_cost = OpCost::default();
+        self.pager.snapshot()
+    }
+
     fn finish_op(&mut self, snap: &dam_cache::CostSnapshot) {
         let d = self.pager.cost_since(snap);
         self.last_cost = OpCost {
@@ -963,28 +1187,28 @@ impl BeTree {
 
 impl Dictionary for BeTree {
     fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<(), KvError> {
-        let snap = self.pager.snapshot();
+        let snap = self.begin_op();
         self.enqueue(key, Operation::Put(value.to_vec()))?;
         self.finish_op(&snap);
         Ok(())
     }
 
     fn delete(&mut self, key: &[u8]) -> Result<(), KvError> {
-        let snap = self.pager.snapshot();
+        let snap = self.begin_op();
         self.enqueue(key, Operation::Delete)?;
         self.finish_op(&snap);
         Ok(())
     }
 
     fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
-        let snap = self.pager.snapshot();
+        let snap = self.begin_op();
         let r = self.get_inner(key);
         self.finish_op(&snap);
         r
     }
 
     fn range(&mut self, start: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>, KvError> {
-        let snap = self.pager.snapshot();
+        let snap = self.begin_op();
         let mut out = Vec::new();
         if start < end {
             let root = self.root;
@@ -999,7 +1223,7 @@ impl Dictionary for BeTree {
     }
 
     fn sync(&mut self) -> Result<(), KvError> {
-        let snap = self.pager.snapshot();
+        let snap = self.begin_op();
         // Durability contract: a successful sync leaves a superblock from
         // which `open` recovers this exact state.
         self.persist()?;
@@ -1009,7 +1233,9 @@ impl Dictionary for BeTree {
 
     /// Exact live-key count; drains all buffered messages first (O(N) IO).
     fn len(&mut self) -> Result<u64, KvError> {
+        let snap = self.begin_op();
         self.drain_all()?;
+        self.finish_op(&snap);
         Ok(self.count)
     }
 }
@@ -1019,11 +1245,61 @@ mod tests {
     use super::*;
     use dam_kv::key_from_u64;
     use dam_kv::msg::CounterMerge;
-    use dam_storage::{RamDisk, SimDuration};
+    use dam_storage::{FaultInjector, FaultMode, RamDisk, SimDuration};
 
     fn tree(node_bytes: usize, fanout: usize) -> BeTree {
         let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 28, SimDuration(1000))));
         BeTree::create(dev, BeTreeConfig::new(node_bytes, fanout, 1 << 20)).unwrap()
+    }
+
+    #[test]
+    fn surfaced_faults_never_lose_acked_updates() {
+        // Regression (found by dam-check): a fault during a buffer-flush
+        // cascade used to drop the message batch taken from the parent's
+        // buffer. Mutations are retried until Ok; the final state must
+        // match a shadow map exactly.
+        let (inj, switch) = FaultInjector::new(RamDisk::new(1 << 26, SimDuration(200)));
+        let dev = SharedDevice::new(Box::new(inj));
+        let mut t = BeTree::create(dev, BeTreeConfig::new(2048, 4, 1 << 16)).unwrap();
+        switch.set(FaultMode::Probabilistic {
+            num: 1,
+            denom: 48,
+            seed: 11,
+        });
+        let mut shadow: std::collections::BTreeMap<Vec<u8>, Vec<u8>> =
+            std::collections::BTreeMap::new();
+        let mut rng = 0x9e37_79b9u64;
+        let mut next = move || {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            rng >> 33
+        };
+        for i in 0..4000u64 {
+            let k = key_from_u64(next() % 700).to_vec();
+            if next() % 10 < 7 {
+                let v = format!("v{i:06}").into_bytes();
+                let mut tries = 0;
+                while let Err(e) = t.insert(&k, &v) {
+                    tries += 1;
+                    assert!(tries < 200, "insert never converged: {e}");
+                }
+                shadow.insert(k, v);
+            } else {
+                let mut tries = 0;
+                while let Err(e) = t.delete(&k) {
+                    tries += 1;
+                    assert!(tries < 200, "delete never converged: {e}");
+                }
+                shadow.remove(&k);
+            }
+        }
+        switch.set(FaultMode::None);
+        let dump = t.range(&[], &[0xFF; 17]).unwrap();
+        let want: Vec<(Vec<u8>, Vec<u8>)> =
+            shadow.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        assert_eq!(dump, want);
+        assert_eq!(t.len().unwrap(), shadow.len() as u64);
     }
 
     fn kv(i: u64) -> (Vec<u8>, Vec<u8>) {
@@ -1361,5 +1637,24 @@ mod tests {
             t.insert(b"k", &vec![0u8; 600]),
             Err(KvError::Config(_))
         ));
+    }
+
+    /// Regression (dam-check): `len` drains buffered messages, so its IO
+    /// must be attributed to `last_op_cost` — and a failed operation must
+    /// report zero cost rather than the previous operation's numbers.
+    #[test]
+    fn len_and_failed_ops_follow_cost_contract() {
+        let mut t = tree(1024, 4);
+        for i in 0..800 {
+            let (k, v) = kv(i);
+            t.insert(&k, &v).unwrap();
+        }
+        // Cold cache: the drain inside `len` must hit the device.
+        t.drop_cache().unwrap();
+        assert_eq!(t.len().unwrap(), 800);
+        assert!(t.last_op_cost().ios > 0, "len's drain should be attributed");
+        let err = t.insert(b"big", &vec![0u8; 2048]);
+        assert!(matches!(err, Err(KvError::Config(_))));
+        assert_eq!(t.last_op_cost(), OpCost::default(), "failed op is free");
     }
 }

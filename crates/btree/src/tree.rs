@@ -827,6 +827,14 @@ impl BTree {
         }
     }
 
+    /// Reset per-op cost accounting and snapshot the pager counters. Called
+    /// at the start of every `Dictionary` operation so a failed op reports
+    /// zero cost instead of the previous op's stale numbers.
+    fn begin_op(&mut self) -> dam_cache::CostSnapshot {
+        self.last_cost = OpCost::default();
+        self.pager.snapshot()
+    }
+
     fn finish_op(&mut self, snap: &dam_cache::CostSnapshot) {
         let d = self.pager.cost_since(snap);
         self.last_cost = OpCost {
@@ -843,8 +851,8 @@ impl BTree {
 
 impl Dictionary for BTree {
     fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<(), KvError> {
+        let snap = self.begin_op();
         self.entry_fits(key, value)?;
-        let snap = self.pager.snapshot();
         let root = self.root;
         let (new_key, split) = self.insert_rec(root, key, value)?;
         if let Some((pivot, right)) = split {
@@ -865,7 +873,7 @@ impl Dictionary for BTree {
     }
 
     fn delete(&mut self, key: &[u8]) -> Result<(), KvError> {
-        let snap = self.pager.snapshot();
+        let snap = self.begin_op();
         let root = self.root;
         let (removed, _) = self.delete_rec(root, key)?;
         if removed {
@@ -877,7 +885,7 @@ impl Dictionary for BTree {
     }
 
     fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
-        let snap = self.pager.snapshot();
+        let snap = self.begin_op();
         let root = self.root;
         let r = self.get_rec(root, key);
         self.finish_op(&snap);
@@ -885,7 +893,7 @@ impl Dictionary for BTree {
     }
 
     fn range(&mut self, start: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>, KvError> {
-        let snap = self.pager.snapshot();
+        let snap = self.begin_op();
         let mut out = Vec::new();
         if start < end {
             let root = self.root;
@@ -900,7 +908,7 @@ impl Dictionary for BTree {
     }
 
     fn sync(&mut self) -> Result<(), KvError> {
-        let snap = self.pager.snapshot();
+        let snap = self.begin_op();
         // Durability contract: after a successful sync, `open` on the same
         // device recovers this exact state — so write the superblock too,
         // not just the dirty nodes.
@@ -910,6 +918,11 @@ impl Dictionary for BTree {
     }
 
     fn len(&mut self) -> Result<u64, KvError> {
+        // No IO, but the accounting contract still applies: `last_op_cost`
+        // must describe *this* op, so reset it rather than leaving the
+        // previous op's numbers in place.
+        let snap = self.begin_op();
+        self.finish_op(&snap);
         Ok(self.count)
     }
 }
@@ -1255,5 +1268,25 @@ mod tests {
             large.insert(&k, &v).unwrap();
         }
         assert!(large.height() < small.height());
+    }
+
+    /// Regression (dam-check): `last_op_cost` must describe the most recent
+    /// operation, even when that operation is `len` (no IO) or an operation
+    /// that fails before touching storage.
+    #[test]
+    fn last_op_cost_resets_per_op() {
+        let mut t = tree(256);
+        for i in 0..500 {
+            let (k, v) = kv(i);
+            t.insert(&k, &v).unwrap();
+        }
+        t.sync().unwrap();
+        assert!(t.last_op_cost().ios > 0, "sync should cost IO");
+        assert_eq!(t.len().unwrap(), 500);
+        assert_eq!(t.last_op_cost(), OpCost::default(), "len costs nothing");
+        t.sync().unwrap();
+        let err = t.insert(b"big", &vec![0u8; 4096]);
+        assert!(matches!(err, Err(KvError::Config(_))));
+        assert_eq!(t.last_op_cost(), OpCost::default(), "failed op is free");
     }
 }

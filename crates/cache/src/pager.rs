@@ -277,11 +277,23 @@ impl Pager {
             self.map.remove(&entry.offset);
             self.lru.remove(slot);
             self.used -= entry.data.len() as u64;
-            self.counters.evictions += 1;
             if entry.dirty {
-                self.device_write(entry.offset, &entry.data)?;
+                if let Err(e) = self.device_write(entry.offset, &entry.data) {
+                    // The cache holds the only copy of a dirty object;
+                    // discarding it on a failed writeback would silently
+                    // lose acknowledged writes. Reinstate the victim (at
+                    // MRU, so the next attempt tries a different one) and
+                    // surface the error.
+                    let slot = self.lru.push_front();
+                    self.ensure_slot(slot);
+                    self.used += entry.data.len() as u64;
+                    self.map.insert(entry.offset, slot);
+                    self.slots[slot as usize] = Some(entry);
+                    return Err(e);
+                }
                 self.counters.writebacks += 1;
             }
+            self.counters.evictions += 1;
         }
         Ok(())
     }
@@ -306,7 +318,10 @@ impl Pager {
 
     fn insert_entry(&mut self, offset: u64, data: Vec<u8>, dirty: bool) -> Result<(), PagerError> {
         debug_assert!(!self.map.contains_key(&offset));
-        self.make_room(data.len() as u64)?;
+        // Insert first, evict after: the cache must accept the object even
+        // when making room fails (e.g. a writeback hits a device fault), so
+        // a surfaced error never means a half-applied write. The budget may
+        // be exceeded transiently; the next make_room restores it.
         let slot = self.lru.push_front();
         self.ensure_slot(slot);
         self.used += data.len() as u64;
@@ -317,6 +332,19 @@ impl Pager {
             pins: 0,
         });
         self.map.insert(offset, slot);
+        if self.used > self.budget {
+            // Never evict the object just inserted.
+            self.slots[slot as usize]
+                .as_mut()
+                .expect("just inserted")
+                .pins += 1;
+            let room = self.make_room(0);
+            self.slots[slot as usize]
+                .as_mut()
+                .expect("just inserted")
+                .pins -= 1;
+            room?;
+        }
         Ok(())
     }
 
@@ -540,7 +568,7 @@ impl Pager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dam_storage::RamDisk;
+    use dam_storage::{FaultInjector, FaultMode, RamDisk};
 
     fn pager(cache: u64) -> Pager {
         let dev = SharedDevice::new(Box::new(RamDisk::new(1 << 20, SimDuration(1000))));
@@ -790,6 +818,50 @@ mod tests {
         let before = p.counters().hits;
         p.read_within(a, 400, 100, 50).unwrap();
         assert_eq!(p.counters().hits, before + 1);
+    }
+
+    #[test]
+    fn failed_writeback_reinstates_dirty_victim() {
+        // Regression: a dirty victim whose writeback fails used to be
+        // dropped from the cache, silently losing acknowledged writes.
+        let (inj, switch) = FaultInjector::new(RamDisk::new(1 << 20, SimDuration(1000)));
+        let dev = SharedDevice::new(Box::new(inj));
+        let mut p = Pager::new(dev, 250, 0);
+        let a = p.alloc(100).unwrap();
+        let b = p.alloc(100).unwrap();
+        let c = p.alloc(100).unwrap();
+        p.write(a, vec![1; 100]).unwrap();
+        p.write(b, vec![2; 100]).unwrap();
+        switch.set(FaultMode::Writes);
+        // Inserting c forces an eviction whose writeback fails. The error
+        // surfaces, but neither the victim nor the new write may be lost.
+        assert!(p.write(c, vec![3; 100]).is_err());
+        switch.set(FaultMode::None);
+        for (off, byte) in [(a, 1u8), (b, 2), (c, 3)] {
+            assert_eq!(p.read(off, 100).unwrap(), vec![byte; 100]);
+        }
+    }
+
+    #[test]
+    fn failed_eviction_does_not_drop_overwrite() {
+        // Regression: an overwrite hit used to surface the eviction error
+        // without having applied the new bytes, leaving callers unable to
+        // tell whether the write landed. Writes now always apply to the
+        // cache; the error covers only the eviction writeback.
+        let (inj, switch) = FaultInjector::new(RamDisk::new(1 << 20, SimDuration(1000)));
+        let dev = SharedDevice::new(Box::new(inj));
+        let mut p = Pager::new(dev, 250, 0);
+        let a = p.alloc(200).unwrap();
+        let b = p.alloc(100).unwrap();
+        p.write(a, vec![1; 100]).unwrap();
+        p.write(b, vec![2; 100]).unwrap();
+        switch.set(FaultMode::Writes);
+        // Growing `a` to its full allocation exceeds the budget; the
+        // eviction writeback fails but the new bytes must stick.
+        assert!(p.write(a, vec![9; 200]).is_err());
+        switch.set(FaultMode::None);
+        assert_eq!(p.read(a, 200).unwrap(), vec![9; 200]);
+        assert_eq!(p.read(b, 100).unwrap(), vec![2; 100]);
     }
 
     #[test]

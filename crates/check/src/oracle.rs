@@ -1,0 +1,117 @@
+//! The reference model: a plain `std::collections::BTreeMap`. Whatever the
+//! trees answer, this is the truth they are compared against, byte for
+//! byte.
+
+use crate::trace::Op;
+use dam_kv::KvPair;
+use std::collections::BTreeMap;
+
+/// In-memory reference dictionary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Oracle {
+    map: BTreeMap<Vec<u8>, Vec<u8>>,
+}
+
+impl Oracle {
+    /// Empty oracle.
+    pub fn new() -> Self {
+        Oracle::default()
+    }
+
+    /// Apply a mutation (`Insert`/`Delete`); queries and `Sync` are no-ops
+    /// on the model.
+    pub fn apply(&mut self, op: &Op) {
+        match op {
+            Op::Insert { key, value } => {
+                self.map.insert(key.clone(), value.clone());
+            }
+            Op::Delete { key } => {
+                self.map.remove(key);
+            }
+            _ => {}
+        }
+    }
+
+    /// Point query.
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.map.get(key).cloned()
+    }
+
+    /// Half-open range; empty for degenerate intervals, mirroring the
+    /// `Dictionary::range` contract.
+    pub fn range(&self, start: &[u8], end: &[u8]) -> Vec<KvPair> {
+        if start >= end {
+            return Vec::new();
+        }
+        self.map
+            .range(start.to_vec()..end.to_vec())
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Live-key count.
+    pub fn len(&self) -> u64 {
+        self.map.len() as u64
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Every pair in key order.
+    pub fn dump(&self) -> Vec<KvPair> {
+        self.map
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// An exclusive upper bound strictly above every stored key (one zero
+    /// byte appended to the maximum key). Used with `len` equality to make
+    /// a *finite* `range` call provably cover the whole dictionary.
+    pub fn exclusive_upper_bound(&self) -> Vec<u8> {
+        match self.map.keys().next_back() {
+            Some(k) => {
+                let mut b = k.clone();
+                b.push(0);
+                b
+            }
+            None => vec![0],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_matches_map_semantics() {
+        let mut o = Oracle::new();
+        o.apply(&Op::Insert {
+            key: b"a".to_vec(),
+            value: b"1".to_vec(),
+        });
+        o.apply(&Op::Insert {
+            key: vec![],
+            value: vec![],
+        });
+        o.apply(&Op::Insert {
+            key: b"a".to_vec(),
+            value: b"2".to_vec(),
+        });
+        o.apply(&Op::Delete {
+            key: b"missing".to_vec(),
+        });
+        assert_eq!(o.len(), 2);
+        assert_eq!(o.get(b"a"), Some(b"2".to_vec()));
+        assert_eq!(o.get(b""), Some(vec![]));
+        assert_eq!(o.range(b"a", b"a"), vec![]);
+        assert_eq!(o.range(b"b", b"a"), vec![]);
+        assert_eq!(o.range(b"", b"b").len(), 2);
+        let ub = o.exclusive_upper_bound();
+        assert!(ub.as_slice() > b"a".as_slice());
+        assert_eq!(o.range(b"", &ub).len(), 2);
+    }
+}

@@ -86,6 +86,14 @@ pub fn help() -> String {
      \x20                                      instrumented run: per-level IO, spans,\n\
      \x20                                      latency percentiles, cache hit rate,\n\
      \x20                                      read/write amp, model residuals\n\
+     \x20 check   [--ops N] [--seed S] [--structure <s>] [--mode <m>]\n\
+     \x20         [--crash-points N] [--crash-ops N] [--shrink-budget N]\n\
+     \x20                                      differential harness: lockstep replay\n\
+     \x20                                      of an adversarial trace against all\n\
+     \x20                                      four dictionaries + a BTreeMap oracle,\n\
+     \x20                                      with fault and crash-recovery modes;\n\
+     \x20                                      prints a shrunk repro on divergence\n\
+     \x20         modes: all | plain | faults | crash\n\
      \x20 check-metrics --snapshot <f> --schema <f>   validate a metrics snapshot\n"
         .to_string()
 }
@@ -824,6 +832,69 @@ pub fn check_metrics(args: &Args) -> Result<String, CliError> {
     Ok(format!(
         "snapshot {snapshot_path} OK: every key required by {schema_path} is present\n"
     ))
+}
+
+/// `damlab check`: run the differential correctness harness.
+pub fn check(args: &Args) -> Result<String, CliError> {
+    let mut cfg = dam_check::CheckConfig {
+        seed: args.get_u64("seed", 42)?,
+        ops: args.get_u64("ops", 2_000)? as usize,
+        ..dam_check::CheckConfig::default()
+    };
+    cfg.crash_trace_ops = args.get_u64("crash-ops", cfg.crash_trace_ops as u64)? as usize;
+    cfg.crash_points = args.get_u64("crash-points", cfg.crash_points as u64)? as usize;
+    cfg.shrink_budget = args.get_u64("shrink-budget", cfg.shrink_budget as u64)? as usize;
+    if let Some(s) = args.get("structure") {
+        let st = dam_check::Structure::parse(s).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown structure '{s}'; expected btree|betree|optbetree|lsm"
+            ))
+        })?;
+        cfg.structures = vec![st];
+    }
+    match args.get("mode").unwrap_or("all") {
+        "all" => {}
+        "plain" => {
+            cfg.faults = false;
+            cfg.crash = false;
+        }
+        "faults" => {
+            cfg.plain = false;
+            cfg.crash = false;
+        }
+        "crash" => {
+            cfg.plain = false;
+            cfg.faults = false;
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown mode '{other}'; expected all|plain|faults|crash"
+            )))
+        }
+    }
+    let mut out = String::new();
+    writeln!(
+        out,
+        "differential check: seed={} ops={} structures=[{}]",
+        cfg.seed,
+        cfg.ops,
+        cfg.structures
+            .iter()
+            .map(|s| s.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
+    .unwrap();
+    match dam_check::check(&cfg) {
+        Ok(report) => {
+            for line in &report.lines {
+                writeln!(out, "  {line}").unwrap();
+            }
+            writeln!(out, "check passed").unwrap();
+            Ok(out)
+        }
+        Err(f) => Err(CliError::Runtime(format!("{out}{f}"))),
+    }
 }
 
 fn rows_node_size(rows: &[experiments::NodeSizePoint]) -> String {

@@ -21,6 +21,11 @@
 //!   instrumented workload and render the observability snapshot: per-level
 //!   IO, span tallies, latency percentiles, cache hit rate, read/write
 //!   amplification, and DAM/affine/PDAM model residuals,
+//! * `damlab check [--ops N] [--seed S] [--structure <s>] [--mode <m>]` —
+//!   differential correctness harness: replay an adversarial op trace in
+//!   lockstep against all four dictionaries and a `BTreeMap` oracle, with
+//!   fault-injection and crash-recovery modes; on divergence print a shrunk
+//!   ready-to-paste reproducer,
 //! * `damlab check-metrics --snapshot <file> --schema <file>` — validate an
 //!   exported snapshot against `schemas/metrics_schema.json`.
 //!
@@ -42,6 +47,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "experiment" => commands::experiment(&args),
         "sweep-bench" => commands::sweep_bench(&args),
         "stats" => commands::stats(&args),
+        "check" => commands::check(&args),
         "check-metrics" => commands::check_metrics(&args),
         "help" | "" => Ok(commands::help()),
         other => Err(CliError::Usage(format!(

@@ -75,9 +75,21 @@ pub trait Dictionary {
     fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, KvError>;
 
     /// Range query: all pairs with `start ≤ key < end`, in key order.
+    ///
+    /// The interval is half-open. Degenerate intervals — `start == end` or
+    /// `start > end` — MUST return an empty vector (never an error, never a
+    /// wrapped-around scan). Every implementation guards this before
+    /// touching storage; the differential harness (`dam-check`) pins it.
     fn range(&mut self, start: &[u8], end: &[u8]) -> Result<Vec<KvPair>, KvError>;
 
     /// Cost of the most recently completed operation.
+    ///
+    /// Accounting contract (pinned by the `dam-check` harness): the cost is
+    /// reset at the start of every operation — including [`Dictionary::len`]
+    /// and failed operations — so it never accumulates across operations,
+    /// and the sum of reported costs never exceeds the device's own IO
+    /// totals. An operation that returns an error reports a zero cost
+    /// rather than a stale one.
     fn last_op_cost(&self) -> OpCost;
 
     /// Flush buffered state to the device (checkpoint). The flush's IO cost

@@ -178,6 +178,19 @@ impl SsTable {
         !(self.max_key.as_slice() < lo || hi < self.min_key.as_slice())
     }
 
+    /// Whether this table overlaps `[lo, hi)` where `hi = None` means
+    /// unbounded above. Used by scans that must see *every* key, including
+    /// keys that sort above any finite sentinel.
+    pub fn overlaps_open(&self, lo: &[u8], hi: Option<&[u8]>) -> bool {
+        if self.max_key.as_slice() < lo {
+            return false;
+        }
+        match hi {
+            Some(h) => self.min_key.as_slice() < h,
+            None => true,
+        }
+    }
+
     fn block_index_for(&self, key: &[u8]) -> usize {
         // Last block whose first_key <= key.
         self.blocks
@@ -222,13 +235,27 @@ impl SsTable {
         start: &[u8],
         end: &[u8],
     ) -> Result<Vec<RunEntry>, KvError> {
+        if end <= start {
+            return Ok(Vec::new());
+        }
+        self.scan_open(pager, start, Some(end))
+    }
+
+    /// All entries with `start <= key < end`, where `end = None` means
+    /// unbounded above (scan to the last key of the table).
+    pub fn scan_open(
+        &self,
+        pager: &mut Pager,
+        start: &[u8],
+        end: Option<&[u8]>,
+    ) -> Result<Vec<RunEntry>, KvError> {
         let mut out = Vec::new();
-        if self.blocks.is_empty() || end <= start {
+        if self.blocks.is_empty() {
             return Ok(out);
         }
         let first = self.block_index_for(start);
         for i in first..self.blocks.len() {
-            if i > first && self.blocks[i].first_key.as_slice() >= end {
+            if i > first && end.is_some_and(|e| self.blocks[i].first_key.as_slice() >= e) {
                 break;
             }
             let entries = self.read_block(pager, i)?;
@@ -236,7 +263,7 @@ impl SsTable {
                 if k.as_slice() < start {
                     continue;
                 }
-                if k.as_slice() >= end {
+                if end.is_some_and(|e| k.as_slice() >= e) {
                     return Ok(out);
                 }
                 out.push((k, v));

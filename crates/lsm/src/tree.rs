@@ -569,30 +569,47 @@ impl LsmTree {
         Ok(None)
     }
 
-    fn range_inner(&mut self, start: &[u8], end: &[u8]) -> Result<Vec<dam_kv::KvPair>, KvError> {
+    /// Merged live view of `start ≤ key < end`; `end = None` means
+    /// unbounded above. The unbounded form is what `len` and
+    /// `check_invariants` use — scanning to a finite sentinel like
+    /// `[0xFF; 64]` would silently miss keys that sort above it.
+    fn range_inner(
+        &mut self,
+        start: &[u8],
+        end: Option<&[u8]>,
+    ) -> Result<Vec<dam_kv::KvPair>, KvError> {
+        if end.is_some_and(|e| e <= start) {
+            return Ok(Vec::new());
+        }
         let mut runs: Vec<Vec<RunEntry>> = Vec::new();
         // Memtable: highest precedence.
-        runs.push(
-            self.mem
-                .range(start.to_vec()..end.to_vec())
+        runs.push(match end {
+            Some(e) => self
+                .mem
+                .range(start.to_vec()..e.to_vec())
                 .map(|(k, v)| (k.clone(), v.clone()))
                 .collect(),
-        );
+            None => self
+                .mem
+                .range(start.to_vec()..)
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        });
         for i in (0..self.l0.len()).rev() {
             let t = self.l0[i].clone();
-            if t.overlaps(start, end) {
-                runs.push(t.scan(&mut self.pager, start, end)?);
+            if t.overlaps_open(start, end) {
+                runs.push(t.scan_open(&mut self.pager, start, end)?);
             }
         }
         for li in 0..self.levels.len() {
             let tables: Vec<SsTable> = self.levels[li]
                 .iter()
-                .filter(|t| t.overlaps(start, end))
+                .filter(|t| t.overlaps_open(start, end))
                 .cloned()
                 .collect();
             let mut run = Vec::new();
             for t in tables {
-                run.extend(t.scan(&mut self.pager, start, end)?);
+                run.extend(t.scan_open(&mut self.pager, start, end)?);
             }
             runs.push(run);
         }
@@ -620,15 +637,23 @@ impl LsmTree {
                 }
             }
         }
-        // Count live keys by a full merge (also validates every block
-        // decodes).
-        let all = self.range_inner(&[], &[0xFFu8; 64])?;
+        // Count live keys by a full unbounded merge (also validates every
+        // block decodes).
+        let all = self.range_inner(&[], None)?;
         for w in all.windows(2) {
             if w[0].0 >= w[1].0 {
                 return Err(KvError::Corrupt("merged output unsorted".into()));
             }
         }
         Ok(all.len() as u64)
+    }
+
+    /// Reset per-op cost accounting and snapshot the pager counters. Called
+    /// at the start of every `Dictionary` operation so a failed op reports
+    /// zero cost instead of the previous op's stale numbers.
+    fn begin_op(&mut self) -> dam_cache::CostSnapshot {
+        self.last_cost = OpCost::default();
+        self.pager.snapshot()
     }
 
     fn finish_op(&mut self, snap: &dam_cache::CostSnapshot) {
@@ -647,30 +672,30 @@ impl LsmTree {
 
 impl Dictionary for LsmTree {
     fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<(), KvError> {
-        let snap = self.pager.snapshot();
+        let snap = self.begin_op();
         self.update(key, Some(value.to_vec()))?;
         self.finish_op(&snap);
         Ok(())
     }
 
     fn delete(&mut self, key: &[u8]) -> Result<(), KvError> {
-        let snap = self.pager.snapshot();
+        let snap = self.begin_op();
         self.update(key, None)?;
         self.finish_op(&snap);
         Ok(())
     }
 
     fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
-        let snap = self.pager.snapshot();
+        let snap = self.begin_op();
         let r = self.get_inner(key);
         self.finish_op(&snap);
         r
     }
 
     fn range(&mut self, start: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>, KvError> {
-        let snap = self.pager.snapshot();
+        let snap = self.begin_op();
         let r = if start < end {
-            self.range_inner(start, end)
+            self.range_inner(start, Some(end))
         } else {
             Ok(Vec::new())
         };
@@ -686,15 +711,17 @@ impl Dictionary for LsmTree {
         // Durability contract: after sync returns, `open` on the same
         // device reconstructs everything inserted so far — so sync writes
         // the manifest, not just the dirty pages.
-        let snap = self.pager.snapshot();
+        let snap = self.begin_op();
         self.persist()?;
         self.finish_op(&snap);
         Ok(())
     }
 
-    /// Exact live-key count via a full merge scan (O(N) IO).
+    /// Exact live-key count via a full unbounded merge scan (O(N) IO).
     fn len(&mut self) -> Result<u64, KvError> {
-        let all = self.range_inner(&[], &[0xFFu8; 64])?;
+        let snap = self.begin_op();
+        let all = self.range_inner(&[], None)?;
+        self.finish_op(&snap);
         Ok(all.len() as u64)
     }
 }
@@ -939,5 +966,40 @@ mod tests {
         t.check_invariants().unwrap();
         let counts = t.level_table_counts();
         assert!(counts.len() >= 3, "expected several levels: {counts:?}");
+    }
+
+    /// Regression (dam-check): `len` and `check_invariants` used to scan up
+    /// to the finite sentinel `[0xFF; 64]`, silently dropping any key that
+    /// sorts at or above it. The count must include every live key.
+    #[test]
+    fn len_counts_keys_above_ff_sentinel() {
+        let mut t = tree(4096);
+        t.insert(&[0xFFu8; 64], b"at-sentinel").unwrap();
+        t.insert(&[0xFFu8; 80], b"above-sentinel").unwrap();
+        t.insert(b"", b"empty-key").unwrap();
+        assert_eq!(t.len().unwrap(), 3);
+        assert_eq!(t.check_invariants().unwrap(), 3);
+        // Still counted once flushed out of the memtable.
+        t.sync().unwrap();
+        assert_eq!(t.len().unwrap(), 3);
+        assert_eq!(
+            t.get(&[0xFFu8; 80]).unwrap(),
+            Some(b"above-sentinel".to_vec())
+        );
+    }
+
+    /// Regression (dam-check): a failed operation must report zero cost,
+    /// not the previous operation's numbers.
+    #[test]
+    fn failed_op_reports_zero_cost() {
+        let mut t = tree(4096);
+        for i in 0..200 {
+            t.insert(&key_from_u64(i), &[7u8; 40]).unwrap();
+        }
+        t.sync().unwrap();
+        assert!(t.last_op_cost().ios > 0, "sync should cost IO");
+        let err = t.insert(b"big", &vec![0u8; 4096]);
+        assert!(matches!(err, Err(KvError::Config(_))));
+        assert_eq!(t.last_op_cost(), OpCost::default());
     }
 }
