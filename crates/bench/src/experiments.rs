@@ -1092,3 +1092,89 @@ pub fn cache_skew(scale: &Scale) -> Vec<SkewRow> {
         }
     })
 }
+
+// ----------------------------------------------------------------------
+// Closed-loop serving (Lemma 13 through real dictionaries)
+// ----------------------------------------------------------------------
+
+/// One `(structure, clients)` cell of the closed-loop serving sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeSweepRow {
+    /// Dictionary name.
+    pub structure: String,
+    /// Concurrent closed-loop clients `k`.
+    pub clients: usize,
+    /// Hash shards the keyspace is split over.
+    pub shards: usize,
+    /// Ops committed in the measured phase.
+    pub ops: u64,
+    /// PDAM steps the run took.
+    pub steps: u64,
+    /// `ops / steps` — the Lemma-13 quantity, through a real tree.
+    pub throughput_ops_per_step: f64,
+    /// Lemma 13's analytic prediction `k / log_{PB/k} N` for the same
+    /// `P`, `B`, `N`, and entry size (shape comparison, not a fit).
+    pub predicted_veb: f64,
+    /// Fraction of `P x steps` slot capacity used.
+    pub slot_utilization: f64,
+    /// Fraction of served blocks that piggybacked on a coalesced read.
+    pub coalesce_rate: f64,
+    /// Median op latency in steps.
+    pub p50_latency_steps: u64,
+    /// 99th-percentile op latency in steps.
+    pub p99_latency_steps: u64,
+}
+
+/// Sweep client counts through the `dam-serve` engine for all four
+/// dictionaries: `k` closed-loop clients over hash shards, one PDAM device
+/// with slot budget `P`, read-heavy point ops. Unlike [`lemma13`] (which
+/// drives the §8 layout *simulator*), every op here executes against a
+/// real tree; the scheduler re-times the captured block IOs. Total op
+/// count is held roughly constant across `k` so runtime stays flat and
+/// `ops/steps` is comparable down a column.
+pub fn serve_sweep(scale: &Scale) -> Vec<ServeSweepRow> {
+    use dam_serve::{run_with_obs, ServeConfig, ServeStructure};
+    let p = 8usize;
+    let shards = 4usize;
+    // IO-bound on purpose: the preload must dwarf the per-shard cache or
+    // every op is a cache hit and the sweep degenerates to ops/step = k.
+    let preload = (scale.n_keys / 100).clamp(2_000, 8_000);
+    let total_ops = (scale.ops as usize * 8).max(160);
+    let points: Vec<(ServeStructure, usize)> = ServeStructure::ALL
+        .iter()
+        .flat_map(|&s| [1usize, 2, 4, 8, 16].into_iter().map(move |k| (s, k)))
+        .collect();
+    Sweep::new(scale.seed, points).run(|ctx| {
+        let (structure, k) = *ctx.point;
+        let cfg = ServeConfig {
+            structure,
+            clients: k,
+            shards,
+            p,
+            seed: ctx.seed,
+            preload_keys: preload,
+            ops_per_client: (total_ops / k).max(20),
+            cache_bytes: 1 << 14,
+            value_bytes: 32,
+            ..ServeConfig::default()
+        };
+        let obs = crate::metrics::obs();
+        let out = run_with_obs(&cfg, obs.as_ref()).expect("serve run failed");
+        let pdam = refined_dam::models::Pdam::new(p as f64, cfg.block_bytes as f64);
+        let entry_bytes = (16 + cfg.value_bytes) as f64;
+        let r = out.report;
+        ServeSweepRow {
+            structure: structure.name().to_string(),
+            clients: k,
+            shards,
+            ops: r.ops,
+            steps: r.steps,
+            throughput_ops_per_step: r.throughput_ops_per_step,
+            predicted_veb: pdam.veb_tree_throughput(k as f64, preload.max(2) as f64, entry_bytes),
+            slot_utilization: r.slot_utilization,
+            coalesce_rate: r.coalesce_rate,
+            p50_latency_steps: r.p50_latency_steps,
+            p99_latency_steps: r.p99_latency_steps,
+        }
+    })
+}

@@ -32,7 +32,7 @@ const OPT_SUPERBLOCK_MAGIC: u32 = 0x4441_4D4F; // "DAMO"
 const OPT_SUPERBLOCK_VERSION: u8 = 1;
 use dam_kv::codec::{frame_into_slot, unframe, CodecError, Reader, Writer, FRAME_OVERHEAD};
 use dam_kv::msg::{replay, LastWriteWins, MergeOperator, Message, Operation};
-use dam_kv::{Dictionary, KvError, OpCost};
+use dam_kv::{BatchOp, Dictionary, KvError, OpCost};
 use dam_obs::Obs;
 use dam_storage::SharedDevice;
 
@@ -1317,6 +1317,21 @@ impl Dictionary for OptBeTree {
     fn delete(&mut self, key: &[u8]) -> Result<(), KvError> {
         let snap = self.begin_op();
         self.enqueue(key, Operation::Delete)?;
+        self.finish_op(&snap);
+        Ok(())
+    }
+
+    fn apply_batch(&mut self, batch: &[BatchOp]) -> Result<(), KvError> {
+        // Batched writes all enter through the root message buffer under
+        // one cost window (see `BeTree::apply_batch`); with Theorem-9 fat
+        // nodes the buffer is larger still, so the amortization is deeper.
+        let snap = self.begin_op();
+        for op in batch {
+            match op {
+                BatchOp::Put { key, value } => self.enqueue(key, Operation::Put(value.clone()))?,
+                BatchOp::Del { key } => self.enqueue(key, Operation::Delete)?,
+            }
+        }
         self.finish_op(&snap);
         Ok(())
     }

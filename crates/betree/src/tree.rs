@@ -12,7 +12,7 @@ pub const SUPERBLOCK_BYTES: u64 = 4096;
 const SUPERBLOCK_MAGIC: u32 = 0x4441_4D45; // "DAME"
 const SUPERBLOCK_VERSION: u8 = 1;
 use dam_kv::msg::{replay, LastWriteWins, MergeOperator, Message, Operation};
-use dam_kv::{Dictionary, KvError, OpCost};
+use dam_kv::{BatchOp, Dictionary, KvError, OpCost};
 use dam_obs::Obs;
 use dam_storage::SharedDevice;
 
@@ -1196,6 +1196,22 @@ impl Dictionary for BeTree {
     fn delete(&mut self, key: &[u8]) -> Result<(), KvError> {
         let snap = self.begin_op();
         self.enqueue(key, Operation::Delete)?;
+        self.finish_op(&snap);
+        Ok(())
+    }
+
+    fn apply_batch(&mut self, batch: &[BatchOp]) -> Result<(), KvError> {
+        // The whole batch rides the message path: every op lands in the
+        // root buffer (triggering flush cascades only when it fills), and
+        // one cost window covers the batch — this is the amortization the
+        // serving engine's per-shard write batching exists to buy.
+        let snap = self.begin_op();
+        for op in batch {
+            match op {
+                BatchOp::Put { key, value } => self.enqueue(key, Operation::Put(value.clone()))?,
+                BatchOp::Del { key } => self.enqueue(key, Operation::Delete)?,
+            }
+        }
         self.finish_op(&snap);
         Ok(())
     }

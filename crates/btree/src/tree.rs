@@ -4,7 +4,7 @@
 use crate::node::{Node, NodeId, LEAF_ENTRY_OVERHEAD, NODE_HEADER_BYTES};
 use dam_cache::{Pager, PagerError};
 use dam_kv::codec::{Reader, Writer};
-use dam_kv::{Dictionary, KvError, OpCost};
+use dam_kv::{BatchOp, Dictionary, KvError, OpCost};
 use dam_obs::Obs;
 use dam_storage::SharedDevice;
 
@@ -849,9 +849,8 @@ impl BTree {
     }
 }
 
-impl Dictionary for BTree {
-    fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<(), KvError> {
-        let snap = self.begin_op();
+impl BTree {
+    fn insert_inner(&mut self, key: &[u8], value: &[u8]) -> Result<(), KvError> {
         self.entry_fits(key, value)?;
         let root = self.root;
         let (new_key, split) = self.insert_rec(root, key, value)?;
@@ -868,17 +867,45 @@ impl Dictionary for BTree {
         if new_key {
             self.count += 1;
         }
+        Ok(())
+    }
+
+    fn delete_inner(&mut self, key: &[u8]) -> Result<(), KvError> {
+        let root = self.root;
+        let (removed, _) = self.delete_rec(root, key)?;
+        if removed {
+            self.count -= 1;
+            self.collapse_root()?;
+        }
+        Ok(())
+    }
+}
+
+impl Dictionary for BTree {
+    fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<(), KvError> {
+        let snap = self.begin_op();
+        self.insert_inner(key, value)?;
         self.finish_op(&snap);
         Ok(())
     }
 
     fn delete(&mut self, key: &[u8]) -> Result<(), KvError> {
         let snap = self.begin_op();
-        let root = self.root;
-        let (removed, _) = self.delete_rec(root, key)?;
-        if removed {
-            self.count -= 1;
-            self.collapse_root()?;
+        self.delete_inner(key)?;
+        self.finish_op(&snap);
+        Ok(())
+    }
+
+    fn apply_batch(&mut self, batch: &[BatchOp]) -> Result<(), KvError> {
+        // One cost window for the whole batch: successive root-to-leaf
+        // descents share the cache, so the batch cost is what the serving
+        // engine's group commit actually pays.
+        let snap = self.begin_op();
+        for op in batch {
+            match op {
+                BatchOp::Put { key, value } => self.insert_inner(key, value)?,
+                BatchOp::Del { key } => self.delete_inner(key)?,
+            }
         }
         self.finish_op(&snap);
         Ok(())

@@ -833,6 +833,16 @@ pub struct CheckConfig {
     pub crash_points: usize,
     /// Max replay evaluations while shrinking a failure.
     pub shrink_budget: usize,
+    /// Clients for the concurrent serving-engine mode (0 disables it).
+    /// The trace is dealt round-robin to the clients and replayed through
+    /// `dam-serve`'s scheduler; the commit log must match the serial
+    /// oracle.
+    pub concurrent_clients: usize,
+    /// Shards for the concurrent mode.
+    pub concurrent_shards: usize,
+    /// Trace prefix length for the concurrent mode (engine replays are
+    /// costlier per op than lockstep).
+    pub concurrent_trace_ops: usize,
 }
 
 impl Default for CheckConfig {
@@ -847,6 +857,9 @@ impl Default for CheckConfig {
             crash_trace_ops: 800,
             crash_points: 5,
             shrink_budget: 200,
+            concurrent_clients: 3,
+            concurrent_shards: 2,
+            concurrent_trace_ops: 600,
         }
     }
 }
@@ -974,6 +987,49 @@ pub fn check(cfg: &CheckConfig) -> Result<CheckReport, Box<CheckFailure>> {
             cfg.structures.len(),
             corrupt_opens,
             recoveries
+        ));
+    }
+    if cfg.concurrent_clients > 0 {
+        let concurrent_trace: Vec<Op> = trace
+            .iter()
+            .take(cfg.concurrent_trace_ops.min(trace.len()))
+            .cloned()
+            .collect();
+        let mut steps = 0u64;
+        let mut batches = 0u64;
+        for &s in &cfg.structures {
+            let stats = crate::concurrent::replay_concurrent(
+                s,
+                cfg.concurrent_clients,
+                cfg.concurrent_shards,
+                &concurrent_trace,
+            )
+            .map_err(|failure| {
+                // Shrinking runs the serial harness, which by construction
+                // passes here (a concurrent-only divergence); report the
+                // trace unshrunk with a replay_concurrent reproducer.
+                Box::new(CheckFailure {
+                    rendered: render_test(
+                        "concurrent_reproducer",
+                        "Mode::Plain /* via replay_concurrent */",
+                        &format!("Structure::{:?}", failure.structure),
+                        &concurrent_trace,
+                    ),
+                    shrunk: concurrent_trace.clone(),
+                    failure,
+                })
+            })?;
+            steps += stats.steps;
+            batches += stats.batches;
+        }
+        report.lines.push(format!(
+            "concurrent : {} structures x {} ops as {} clients / {} shards through the serving engine, {} PDAM steps, {} write batches, commit log == serial oracle — ok",
+            cfg.structures.len(),
+            concurrent_trace.len(),
+            cfg.concurrent_clients,
+            cfg.concurrent_shards,
+            steps,
+            batches
         ));
     }
     Ok(report)

@@ -29,10 +29,12 @@
 //! The `damlab check` subcommand and the `tests/differential.rs` seed
 //! corpus are thin wrappers over [`check`] and [`replay`].
 
+pub mod concurrent;
 pub mod harness;
 pub mod oracle;
 pub mod trace;
 
+pub use concurrent::{replay_concurrent, serve_op, serve_structure, ConcurrentStats};
 pub use harness::{check, replay, shrink, CheckConfig, CheckReport, Failure, Mode, Structure};
 pub use oracle::Oracle;
 pub use trace::{generate_trace, render_test, Op};

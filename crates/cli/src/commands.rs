@@ -86,14 +86,25 @@ pub fn help() -> String {
      \x20                                      instrumented run: per-level IO, spans,\n\
      \x20                                      latency percentiles, cache hit rate,\n\
      \x20                                      read/write amp, model residuals\n\
+     \x20 serve   [--structure s|all] [--clients K] [--shards S] [--ops N]\n\
+     \x20         [--p P] [--preload N] [--seed S] [--smoke] [--jobs N]\n\
+     \x20                                      closed-loop multi-client serving:\n\
+     \x20                                      k clients over S hash shards on one\n\
+     \x20                                      PDAM device (slot budget P); without\n\
+     \x20                                      --clients, sweeps k in {1,2,4,8,16}\n\
+     \x20                                      and prints measured ops/step next to\n\
+     \x20                                      Lemma 13's k / log_{PB/k} N\n\
      \x20 check   [--ops N] [--seed S] [--structure <s>] [--mode <m>]\n\
      \x20         [--crash-points N] [--crash-ops N] [--shrink-budget N]\n\
+     \x20         [--clients K] [--shards S]\n\
      \x20                                      differential harness: lockstep replay\n\
      \x20                                      of an adversarial trace against all\n\
      \x20                                      four dictionaries + a BTreeMap oracle,\n\
-     \x20                                      with fault and crash-recovery modes;\n\
-     \x20                                      prints a shrunk repro on divergence\n\
-     \x20         modes: all | plain | faults | crash\n\
+     \x20                                      with fault and crash-recovery modes,\n\
+     \x20                                      plus a concurrent mode replaying the\n\
+     \x20                                      trace as K clients through the serving\n\
+     \x20                                      engine; prints a repro on divergence\n\
+     \x20         modes: all | plain | faults | crash | concurrent\n\
      \x20 check-metrics --snapshot <f> --schema <f>   validate a metrics snapshot\n"
         .to_string()
 }
@@ -834,6 +845,115 @@ pub fn check_metrics(args: &Args) -> Result<String, CliError> {
     ))
 }
 
+/// `damlab serve [--structure s|all] [--clients K] [--shards S] [--ops N]
+/// [--p P] [--preload N] [--seed S] [--smoke] [--jobs N]`.
+///
+/// Closed-loop multi-client serving through the `dam-serve` engine: `k`
+/// clients over `S` hash shards on one PDAM device with slot budget `P`,
+/// read-heavy point ops against a real tree. Without `--clients` the
+/// command sweeps k over {1, 2, 4, 8, 16} (Lemma 13's client axis); the
+/// `Lemma13 pred` column is the analytic `k / log_{PB/k} N` at the same
+/// parameters — compare shapes, not absolute values. The grid fans across
+/// `--jobs` workers with byte-identical output.
+pub fn serve(args: &Args) -> Result<String, CliError> {
+    use dam_bench::sweep::Sweep;
+    use dam_serve::{run, ServeConfig, ServeStructure};
+
+    let _jobs = jobs_override(args)?;
+    let smoke = args.get_bool("smoke");
+    let structures: Vec<ServeStructure> = match args.get("structure").unwrap_or("all") {
+        "all" => ServeStructure::ALL.to_vec(),
+        s => vec![ServeStructure::parse(s).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown structure '{s}' (btree | betree | optbetree | lsm | all)"
+            ))
+        })?],
+    };
+    let ks: Vec<usize> = match args.get_u64("clients", 0)? {
+        0 if smoke => vec![1, 4],
+        0 => vec![1, 2, 4, 8, 16],
+        k => vec![k as usize],
+    };
+    let p = args.get_u64("p", 8)? as usize;
+    let shards = args.get_u64("shards", 4)? as usize;
+    if p == 0 || shards == 0 {
+        return Err(CliError::Usage("--p and --shards must be >= 1".into()));
+    }
+    let ops = args.get_u64("ops", if smoke { 40 } else { 200 })? as usize;
+    let preload = args.get_u64("preload", if smoke { 2_000 } else { 4_000 })?;
+    let seed = args.get_u64("seed", 0xDA4)?;
+
+    let points: Vec<(ServeStructure, usize)> = structures
+        .iter()
+        .flat_map(|&s| ks.iter().map(move |&k| (s, k)))
+        .collect();
+    // The small cache is deliberate: the preload must not fit, or every op
+    // is a hit and the sweep degenerates to ops/step = k.
+    let outcomes = Sweep::new(seed, points).run(|ctx| {
+        let (structure, k) = *ctx.point;
+        let cfg = ServeConfig {
+            structure,
+            clients: k,
+            shards,
+            p,
+            seed: ctx.seed,
+            preload_keys: preload,
+            ops_per_client: ops,
+            cache_bytes: 1 << 14,
+            value_bytes: 32,
+            ..ServeConfig::default()
+        };
+        run(&cfg).map(|o| (cfg.block_bytes, cfg.value_bytes, o.report))
+    });
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "closed-loop serving: P={p} S={shards} preload={preload} ops/client={ops} seed={seed}"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<10} {:>3} {:>6} {:>7} {:>9} {:>13} {:>9} {:>8} {:>5} {:>5}",
+        "structure",
+        "k",
+        "ops",
+        "steps",
+        "ops/step",
+        "Lemma13 pred",
+        "slot util",
+        "coalesce",
+        "p50",
+        "p99"
+    )
+    .unwrap();
+    for res in outcomes {
+        let (block_bytes, value_bytes, r) = res.map_err(|e| CliError::Runtime(e.to_string()))?;
+        let pdam = refined_dam::models::Pdam::new(p as f64, block_bytes as f64);
+        let predicted = pdam.veb_tree_throughput(
+            r.clients as f64,
+            preload.max(2) as f64,
+            (16 + value_bytes) as f64,
+        );
+        writeln!(
+            out,
+            "{:<10} {:>3} {:>6} {:>7} {:>9.4} {:>13.4} {:>9.2} {:>8.2} {:>5} {:>5}",
+            r.structure,
+            r.clients,
+            r.ops,
+            r.steps,
+            r.throughput_ops_per_step,
+            predicted,
+            r.slot_utilization,
+            r.coalesce_rate,
+            r.p50_latency_steps,
+            r.p99_latency_steps
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
 /// `damlab check`: run the differential correctness harness.
 pub fn check(args: &Args) -> Result<String, CliError> {
     let mut cfg = dam_check::CheckConfig {
@@ -844,6 +964,11 @@ pub fn check(args: &Args) -> Result<String, CliError> {
     cfg.crash_trace_ops = args.get_u64("crash-ops", cfg.crash_trace_ops as u64)? as usize;
     cfg.crash_points = args.get_u64("crash-points", cfg.crash_points as u64)? as usize;
     cfg.shrink_budget = args.get_u64("shrink-budget", cfg.shrink_budget as u64)? as usize;
+    cfg.concurrent_clients = args.get_u64("clients", cfg.concurrent_clients as u64)? as usize;
+    cfg.concurrent_shards = args.get_u64("shards", cfg.concurrent_shards as u64)? as usize;
+    if cfg.concurrent_clients > 0 && cfg.concurrent_shards == 0 {
+        return Err(CliError::Usage("--shards must be >= 1".into()));
+    }
     if let Some(s) = args.get("structure") {
         let st = dam_check::Structure::parse(s).ok_or_else(|| {
             CliError::Usage(format!(
@@ -857,18 +982,31 @@ pub fn check(args: &Args) -> Result<String, CliError> {
         "plain" => {
             cfg.faults = false;
             cfg.crash = false;
+            cfg.concurrent_clients = 0;
         }
         "faults" => {
             cfg.plain = false;
             cfg.crash = false;
+            cfg.concurrent_clients = 0;
         }
         "crash" => {
             cfg.plain = false;
             cfg.faults = false;
+            cfg.concurrent_clients = 0;
+        }
+        "concurrent" => {
+            cfg.plain = false;
+            cfg.faults = false;
+            cfg.crash = false;
+            if cfg.concurrent_clients == 0 {
+                return Err(CliError::Usage(
+                    "--mode concurrent needs --clients >= 1".into(),
+                ));
+            }
         }
         other => {
             return Err(CliError::Usage(format!(
-                "unknown mode '{other}'; expected all|plain|faults|crash"
+                "unknown mode '{other}'; expected all|plain|faults|crash|concurrent"
             )))
         }
     }
@@ -1098,6 +1236,50 @@ mod tests {
         ));
         assert!(matches!(
             run("stats --structure btree --device toshiba-dt01aca050 --format yaml"),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn serve_smoke_sweep_renders_rows() {
+        let out = run("serve --smoke").unwrap();
+        for s in ["btree", "betree", "optbetree", "lsm"] {
+            assert!(out.contains(s), "missing {s}: {out}");
+        }
+        assert!(out.contains("Lemma13 pred"), "{out}");
+        // Smoke sweeps k in {1, 4} for every structure.
+        assert_eq!(out.matches("\nbtree").count(), 2, "{out}");
+    }
+
+    #[test]
+    fn serve_is_deterministic_across_jobs() {
+        let cmd = "serve --smoke --structure btree --ops 30 --preload 1000";
+        let serial = run(&format!("{cmd} --jobs 1")).unwrap();
+        let parallel = run(&format!("{cmd} --jobs 3")).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn serve_single_point_and_bad_flags() {
+        let out =
+            run("serve --structure lsm --clients 3 --ops 20 --preload 500 --shards 2").unwrap();
+        assert_eq!(out.matches("\nlsm").count(), 1, "{out}");
+        assert!(matches!(
+            run("serve --structure skiplist"),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(run("serve --p 0"), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn check_concurrent_mode_runs_and_validates_flags() {
+        let out =
+            run("check --ops 120 --mode concurrent --clients 3 --shards 2 --structure betree")
+                .unwrap();
+        assert!(out.contains("concurrent :"), "{out}");
+        assert!(out.contains("check passed"), "{out}");
+        assert!(matches!(
+            run("check --mode concurrent --clients 0"),
             Err(CliError::Usage(_))
         ));
     }

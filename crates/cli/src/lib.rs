@@ -21,10 +21,16 @@
 //!   instrumented workload and render the observability snapshot: per-level
 //!   IO, span tallies, latency percentiles, cache hit rate, read/write
 //!   amplification, and DAM/affine/PDAM model residuals,
-//! * `damlab check [--ops N] [--seed S] [--structure <s>] [--mode <m>]` —
-//!   differential correctness harness: replay an adversarial op trace in
-//!   lockstep against all four dictionaries and a `BTreeMap` oracle, with
-//!   fault-injection and crash-recovery modes; on divergence print a shrunk
+//! * `damlab serve [--structure s|all] [--clients K] [--shards S] [--p P]
+//!   [--smoke] [--jobs N]` — closed-loop multi-client serving through the
+//!   `dam-serve` engine: `k` clients over hash shards on one PDAM device;
+//!   without `--clients` it sweeps k over {1, 2, 4, 8, 16} and prints
+//!   measured ops/step next to Lemma 13's `k / log_{PB/k} N`,
+//! * `damlab check [--ops N] [--seed S] [--structure <s>] [--mode <m>]
+//!   [--clients K]` — differential correctness harness: replay an
+//!   adversarial op trace in lockstep against all four dictionaries and a
+//!   `BTreeMap` oracle, with fault-injection, crash-recovery, and
+//!   concurrent (serving-engine) modes; on divergence print a shrunk
 //!   ready-to-paste reproducer,
 //! * `damlab check-metrics --snapshot <file> --schema <file>` — validate an
 //!   exported snapshot against `schemas/metrics_schema.json`.
@@ -47,6 +53,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "experiment" => commands::experiment(&args),
         "sweep-bench" => commands::sweep_bench(&args),
         "stats" => commands::stats(&args),
+        "serve" => commands::serve(&args),
         "check" => commands::check(&args),
         "check-metrics" => commands::check_metrics(&args),
         "help" | "" => Ok(commands::help()),

@@ -59,6 +59,32 @@ impl OpCost {
     }
 }
 
+/// One write in a batch submitted through [`Dictionary::apply_batch`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BatchOp {
+    /// Insert or overwrite `key`.
+    Put {
+        /// Key to insert.
+        key: Vec<u8>,
+        /// Value to store.
+        value: Vec<u8>,
+    },
+    /// Delete `key` (absent keys are a no-op).
+    Del {
+        /// Key to delete.
+        key: Vec<u8>,
+    },
+}
+
+impl BatchOp {
+    /// The key this write targets.
+    pub fn key(&self) -> &[u8] {
+        match self {
+            BatchOp::Put { key, .. } | BatchOp::Del { key } => key,
+        }
+    }
+}
+
 /// A key-value dictionary over simulated storage.
 ///
 /// Implementations report, through [`Dictionary::last_op_cost`], the storage
@@ -99,6 +125,35 @@ pub trait Dictionary {
         Ok(())
     }
 
+    /// Apply a batch of writes in slice order, reporting ONE combined cost
+    /// through [`Dictionary::last_op_cost`] for the whole batch.
+    ///
+    /// This is the admission-layer entry point: a serving engine groups
+    /// consecutive same-shard writes and submits them together so buffered
+    /// structures can amortize (the Bε-trees push the whole batch through
+    /// their root message buffer before any cascade settles). The result
+    /// MUST equal applying the ops one by one in order — batching changes
+    /// cost, never visible state. The default does exactly that, summing
+    /// per-op costs; implementations override it to share a single
+    /// begin/finish cost window.
+    fn apply_batch(&mut self, batch: &[BatchOp]) -> Result<(), KvError> {
+        let mut total = OpCost::default();
+        for op in batch {
+            match op {
+                BatchOp::Put { key, value } => self.insert(key, value)?,
+                BatchOp::Del { key } => self.delete(key)?,
+            }
+            total.add(&self.last_op_cost());
+        }
+        // The default cannot widen `last_op_cost` to the whole batch —
+        // only the final op's cost is visible afterwards. Overriding
+        // implementations fix this by wrapping the loop in one cost
+        // window; callers needing exact batch costs on a non-overriding
+        // dictionary must sum per-op costs themselves.
+        let _ = total;
+        Ok(())
+    }
+
     /// Number of live keys (may require IO on some implementations).
     fn len(&mut self) -> Result<u64, KvError>;
 
@@ -134,6 +189,10 @@ impl<T: Dictionary + ?Sized> Dictionary for &mut T {
 
     fn sync(&mut self) -> Result<(), KvError> {
         (**self).sync()
+    }
+
+    fn apply_batch(&mut self, batch: &[BatchOp]) -> Result<(), KvError> {
+        (**self).apply_batch(batch)
     }
 
     fn len(&mut self) -> Result<u64, KvError> {

@@ -22,7 +22,7 @@ pub mod workload;
 pub mod writeamp;
 
 pub use codec::{CodecError, Reader, Writer};
-pub use dictionary::{Dictionary, KvError, KvPair, OpCost};
+pub use dictionary::{BatchOp, Dictionary, KvError, KvPair, OpCost};
 pub use msg::{CounterMerge, LastWriteWins, MergeOperator, Message, Operation};
 pub use workload::{KeyDistribution, Op, WorkloadConfig, WorkloadGen};
 pub use writeamp::WriteAmpMeter;

@@ -4,7 +4,7 @@
 use crate::sstable::{BlockMeta, RunEntry, SsTable};
 use dam_cache::{Pager, PagerError};
 use dam_kv::codec::{frame, unframe, CodecError, Reader, Writer, FRAME_OVERHEAD};
-use dam_kv::{Dictionary, KvError, OpCost};
+use dam_kv::{BatchOp, Dictionary, KvError, OpCost};
 use dam_obs::Obs;
 use dam_storage::{SharedDevice, SimTime};
 use std::collections::BTreeMap;
@@ -681,6 +681,21 @@ impl Dictionary for LsmTree {
     fn delete(&mut self, key: &[u8]) -> Result<(), KvError> {
         let snap = self.begin_op();
         self.update(key, None)?;
+        self.finish_op(&snap);
+        Ok(())
+    }
+
+    fn apply_batch(&mut self, batch: &[BatchOp]) -> Result<(), KvError> {
+        // Batched writes land in the memtable back to back under one cost
+        // window; a flush or compaction triggered mid-batch is charged to
+        // the batch, matching the group-commit accounting in `dam-serve`.
+        let snap = self.begin_op();
+        for op in batch {
+            match op {
+                BatchOp::Put { key, value } => self.update(key, Some(value.clone()))?,
+                BatchOp::Del { key } => self.update(key, None)?,
+            }
+        }
         self.finish_op(&snap);
         Ok(())
     }

@@ -1,0 +1,117 @@
+//! A recording device: executes IOs synchronously (so the dictionaries see
+//! real bytes immediately) while logging each IO's shape for the PDAM
+//! scheduler to re-time.
+//!
+//! The dictionaries in this workspace are synchronous — an op runs
+//! root-to-leaf to completion before returning. To schedule many clients'
+//! IOs against a `P`-slot device we split *data* from *timing*: the op
+//! executes against a [`CaptureDevice`] (data served at once by an inner
+//! device, every IO recorded as `(write, offset, len)`), and the recorded
+//! sequence becomes an [`IoChain`](dam_storage::IoChain) whose cost in PDAM
+//! steps the scheduler computes afterwards. Determinism is free: the tree's
+//! behaviour never depends on timing, only on bytes, so re-timing commutes
+//! with execution.
+
+use dam_storage::{BlockDevice, DeviceStats, IoCompletion, IoError, SimTime};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// One recorded IO: `(is_write, offset, len)`.
+pub type CapturedIo = (bool, u64, u64);
+
+/// Handle for draining the IOs recorded since the last drain.
+#[derive(Clone)]
+pub struct CaptureHandle {
+    log: Arc<Mutex<Vec<CapturedIo>>>,
+}
+
+impl CaptureHandle {
+    /// Take all IOs recorded since the previous drain.
+    pub fn drain(&self) -> Vec<CapturedIo> {
+        std::mem::take(&mut *self.log.lock())
+    }
+
+    /// IOs currently recorded (without draining).
+    pub fn pending(&self) -> usize {
+        self.log.lock().len()
+    }
+}
+
+/// See the module docs. Wraps any inner device; timing the inner device
+/// charges is ignored by the serving engine (the scheduler is the clock).
+pub struct CaptureDevice {
+    inner: Box<dyn BlockDevice>,
+    log: Arc<Mutex<Vec<CapturedIo>>>,
+}
+
+impl CaptureDevice {
+    /// Wrap `inner`, returning the device and its drain handle.
+    pub fn new(inner: Box<dyn BlockDevice>) -> (Self, CaptureHandle) {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        (
+            CaptureDevice {
+                inner,
+                log: log.clone(),
+            },
+            CaptureHandle { log },
+        )
+    }
+}
+
+impl BlockDevice for CaptureDevice {
+    fn capacity_bytes(&self) -> u64 {
+        self.inner.capacity_bytes()
+    }
+
+    fn read(&mut self, offset: u64, buf: &mut [u8], now: SimTime) -> Result<IoCompletion, IoError> {
+        let c = self.inner.read(offset, buf, now)?;
+        self.log.lock().push((false, offset, buf.len() as u64));
+        Ok(c)
+    }
+
+    fn write(&mut self, offset: u64, data: &[u8], now: SimTime) -> Result<IoCompletion, IoError> {
+        let c = self.inner.write(offset, data, now)?;
+        self.log.lock().push((true, offset, data.len() as u64));
+        Ok(c)
+    }
+
+    fn stats(&self) -> DeviceStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats()
+    }
+
+    fn describe(&self) -> String {
+        format!("capture({})", self.inner.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dam_storage::{RamDisk, SimDuration};
+
+    #[test]
+    fn records_and_drains_ios() {
+        let (mut d, h) = CaptureDevice::new(Box::new(RamDisk::new(4096, SimDuration(1))));
+        d.write(0, b"abcd", SimTime::ZERO).unwrap();
+        let mut buf = [0u8; 2];
+        d.read(1, &mut buf, SimTime::ZERO).unwrap();
+        assert_eq!(&buf, b"bc");
+        assert_eq!(h.pending(), 2);
+        assert_eq!(h.drain(), vec![(true, 0, 4), (false, 1, 2)]);
+        assert_eq!(h.pending(), 0);
+        assert_eq!(d.stats().total_ios(), 2);
+        assert!(d.describe().starts_with("capture("));
+    }
+
+    #[test]
+    fn errors_are_not_recorded() {
+        let (mut d, h) = CaptureDevice::new(Box::new(RamDisk::new(16, SimDuration(1))));
+        let mut buf = [0u8; 32];
+        assert!(d.read(0, &mut buf, SimTime::ZERO).is_err());
+        assert_eq!(h.pending(), 0);
+    }
+}

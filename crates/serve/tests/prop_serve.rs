@@ -1,0 +1,171 @@
+//! Property tests for the serving engine: any interleaving of `k` clients
+//! over sharded trees is observably equivalent to a serial oracle run (in
+//! commit order), the scheduler never exceeds `P` slots per step, and the
+//! whole pipeline is deterministic.
+//!
+//! The dictionaries themselves are already differentially tested in
+//! `dam-check`; what's under test here is the *serving layer* — routing,
+//! admission batching, group commit, capture/re-timing — so the op
+//! alphabet is exercised through the engine's own entry point with the
+//! full scheduler in the loop.
+
+use dam_serve::{oracle_divergence, run_ops, ServeConfig, ServeOp, ServeStructure};
+use proptest::prelude::*;
+
+/// Compact op encoding over a small keyspace so clients collide on keys
+/// (the interesting case for commit-order semantics).
+#[derive(Debug, Clone)]
+enum SpecOp {
+    Put(u8, u8),
+    Del(u8),
+    Get(u8),
+    Range(u8, u8),
+    Len,
+    Sync,
+}
+
+fn key(i: u8) -> Vec<u8> {
+    dam_kv::key_from_u64(i as u64 % 48).to_vec()
+}
+
+fn decode(op: &SpecOp) -> ServeOp {
+    match *op {
+        SpecOp::Put(k, v) => ServeOp::Put {
+            key: key(k),
+            value: vec![v, v.wrapping_add(1), v.wrapping_add(2)],
+        },
+        SpecOp::Del(k) => ServeOp::Del { key: key(k) },
+        SpecOp::Get(k) => ServeOp::Get { key: key(k) },
+        SpecOp::Range(a, b) => {
+            let (mut lo, mut hi) = (key(a), key(b));
+            if lo > hi {
+                std::mem::swap(&mut lo, &mut hi);
+            }
+            ServeOp::Range { start: lo, end: hi }
+        }
+        SpecOp::Len => ServeOp::Len,
+        SpecOp::Sync => ServeOp::SyncAll,
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = SpecOp> {
+    prop_oneof![
+        4 => (any::<u8>(), any::<u8>()).prop_map(|(k, v)| SpecOp::Put(k, v)),
+        2 => any::<u8>().prop_map(SpecOp::Del),
+        4 => any::<u8>().prop_map(SpecOp::Get),
+        1 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| SpecOp::Range(a, b)),
+        1 => Just(SpecOp::Len),
+        1 => Just(SpecOp::Sync),
+    ]
+}
+
+fn client_ops_strategy() -> impl Strategy<Value = Vec<Vec<SpecOp>>> {
+    prop::collection::vec(prop::collection::vec(op_strategy(), 0..12), 1..5)
+}
+
+fn cfg_for(
+    structure: ServeStructure,
+    clients: usize,
+    shards: usize,
+    p: usize,
+    preload: u64,
+) -> ServeConfig {
+    ServeConfig {
+        structure,
+        clients,
+        shards,
+        p,
+        preload_keys: preload,
+        audit: true,
+        ..ServeConfig::default()
+    }
+}
+
+fn structure_from(idx: u8) -> ServeStructure {
+    ServeStructure::ALL[(idx % 4) as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The core tentpole property: every k-client interleaving the engine
+    /// produces, over any structure / shard count / slot budget, replays
+    /// exactly against a serial BTreeMap oracle in commit order — and the
+    /// scheduler never oversteps `P`.
+    #[test]
+    fn interleavings_equal_serial_oracle(
+        structure_idx in any::<u8>(),
+        specs in client_ops_strategy(),
+        shards in 1usize..4,
+        p in 1usize..6,
+        preload in prop_oneof![Just(0u64), Just(60u64)],
+    ) {
+        let structure = structure_from(structure_idx);
+        let clients = specs.len();
+        let ops: Vec<Vec<ServeOp>> = specs
+            .iter()
+            .map(|c| c.iter().map(decode).collect())
+            .collect();
+        let total: usize = ops.iter().map(Vec::len).sum();
+        let cfg = cfg_for(structure, clients, shards, p, preload);
+        let out = run_ops(&cfg, ops).unwrap();
+
+        // Every op commits exactly once.
+        prop_assert_eq!(out.commits.len(), total);
+        for (c, spec) in specs.iter().enumerate() {
+            let n = out.commits.iter().filter(|x| x.client == c).count();
+            prop_assert_eq!(n, spec.len(), "client {} lost ops", c);
+        }
+        // Serial-oracle equivalence in commit order.
+        if let Some((i, why)) = oracle_divergence(&cfg, &out.commits) {
+            return Err(TestCaseError::fail(format!(
+                "{structure:?} k={clients} S={shards} P={p}: commit {i} diverged: {why}"
+            )));
+        }
+        // Scheduler invariants, from the audit trail.
+        prop_assert_eq!(out.report.steps, out.step_records.len() as u64);
+        for r in &out.step_records {
+            prop_assert!(r.slots_used <= p, "step {} used {} > P={}", r.step, r.slots_used, p);
+        }
+        prop_assert!(out.report.sched.max_slots_in_step <= p as u64);
+    }
+
+    /// Reruns are byte-identical: report, commit log, audit trail.
+    #[test]
+    fn engine_is_deterministic(
+        structure_idx in any::<u8>(),
+        specs in client_ops_strategy(),
+        shards in 1usize..4,
+        p in 1usize..6,
+    ) {
+        let structure = structure_from(structure_idx);
+        let cfg = cfg_for(structure, specs.len(), shards, p, 40);
+        let ops = || -> Vec<Vec<ServeOp>> {
+            specs.iter().map(|c| c.iter().map(decode).collect()).collect()
+        };
+        let a = run_ops(&cfg, ops()).unwrap();
+        let b = run_ops(&cfg, ops()).unwrap();
+        prop_assert_eq!(a.report, b.report);
+        prop_assert_eq!(a.commits, b.commits);
+        prop_assert_eq!(a.step_records, b.step_records);
+    }
+
+    /// Shard count is an implementation detail: the commit-order answers
+    /// of a single client are independent of `S` (with one client there is
+    /// only one possible serial order, so answers must match across any
+    /// shard count outright).
+    #[test]
+    fn single_client_answers_independent_of_sharding(
+        structure_idx in any::<u8>(),
+        spec in prop::collection::vec(op_strategy(), 1..20),
+    ) {
+        let structure = structure_from(structure_idx);
+        let decode_all = || vec![spec.iter().map(decode).collect::<Vec<_>>()];
+        let one = run_ops(&cfg_for(structure, 1, 1, 4, 30), decode_all()).unwrap();
+        let four = run_ops(&cfg_for(structure, 1, 4, 4, 30), decode_all()).unwrap();
+        let answers = |o: &dam_serve::ServeOutcome| {
+            o.commits.iter().map(|c| c.answer.clone()).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(answers(&one), answers(&four));
+    }
+}

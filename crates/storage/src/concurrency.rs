@@ -7,6 +7,16 @@
 //! the simulated clock: each client issues its next IO the instant its
 //! previous one completes. A min-heap orders issue times globally so device
 //! queueing is exercised exactly as it would be by real concurrent callers.
+//!
+//! **Scope: this is a device-level microbenchmark.** [`run_closed_loop`]
+//! drives *raw block IOs* straight at a [`BlockDevice`] — no dictionary, no
+//! cache, no dependency structure between a client's IOs beyond "one
+//! outstanding at a time". Its throughput numbers characterize the device
+//! (the Figure 1 saturation curve), not a data structure serving requests.
+//! Multi-client throughput *through the dictionaries* — root-to-leaf IO
+//! chains, `P`-slot steps, read coalescing, fair slot accounting — is the
+//! job of [`crate::sched::PdamScheduler`] and the `dam-serve` crate built
+//! on it (`damlab serve`); do not compare numbers across the two paths.
 
 use crate::clock::{SimDuration, SimTime};
 use crate::device::{BlockDevice, IoError};

@@ -23,6 +23,9 @@
 //! * [`RamDisk`] — constant-latency device for tests.
 //! * [`concurrency`] — a closed-loop multi-client simulator (the Fig 1
 //!   experiment driver).
+//! * [`sched`] — the PDAM step scheduler: `P` slots per step, read
+//!   coalescing, and max-min fair dispatch across clients (the layer
+//!   `dam-serve` builds on).
 //! * [`profiles`] — parameter sets for the paper's physical devices.
 
 pub mod clock;
@@ -34,6 +37,7 @@ pub mod hist;
 pub mod profiles;
 pub mod ramdisk;
 pub mod retry;
+pub mod sched;
 pub mod ssd;
 pub mod store;
 pub mod trace;
@@ -46,5 +50,8 @@ pub use hdd::{HddDevice, HddProfile};
 pub use hist::LatencyHist;
 pub use ramdisk::RamDisk;
 pub use retry::{RetryHandle, RetryPolicy, RetryStats, RetryingDevice};
+pub use sched::{
+    BlockAddr, BlockReq, IoChain, PdamScheduler, SchedConfig, SchedStats, StepOutcome, StepRecord,
+};
 pub use ssd::{SsdDevice, SsdProfile};
 pub use trace::{TraceEntry, TraceKind, TracingDevice};

@@ -9,7 +9,9 @@
 //! regression tests for fixes whose minimal trigger is a whole fault
 //! schedule rather than a handful of ops.
 
-use dam_check::{check, generate_trace, replay, CheckConfig, Mode, Op, Structure};
+use dam_check::{
+    check, generate_trace, replay, replay_concurrent, CheckConfig, Mode, Op, Structure,
+};
 
 #[test]
 fn seed_corpus_all_modes() {
@@ -71,6 +73,44 @@ fn final_audit_redrives_surfaced_faults() {
     let mode = Mode::FaultsSurfaced { seed: 7 ^ 0xFA17 };
     if let Err(f) = replay(mode, &[Structure::OptBeTree], &trace) {
         panic!("reproducer regressed: {f}");
+    }
+}
+
+#[test]
+fn concurrent_group_commit_reproducer() {
+    // Regression guard for the serving engine's group commit: seed 42's
+    // trace mixes writes and reads to the same keys densely enough that,
+    // dealt over 3 clients, a read regularly admits in the same round as a
+    // buffered write to its target shard. The engine must flush that
+    // shard's write batch before executing the read (the batch is shared —
+    // "group commit" — and the read's answer must reflect every write
+    // admitted before it in client-id order), or the commit log diverges
+    // from the serial oracle. Sharding (S=2) additionally exercises the
+    // routing: a flush of the read's shard must not reorder ops bound for
+    // the other shard.
+    let trace = generate_trace(42, 900);
+    for s in Structure::ALL {
+        if let Err(f) = replay_concurrent(s, 3, 2, &trace) {
+            panic!("group-commit reproducer regressed: {f}");
+        }
+    }
+}
+
+#[test]
+fn concurrent_barrier_ops_reproducer() {
+    // Regression guard for the engine's barrier ops: seed 1337's trace is
+    // dense in Range / Len / Sync, which fan out across every shard and
+    // must observe all previously admitted writes on all shards — a
+    // partial flush (only the "current" shard) used to be the natural bug
+    // shape during development. k=5 > shards=3 also forces several clients
+    // to share a shard within one admission round, so per-shard batches
+    // carry ops from multiple clients and every contributor must commit
+    // exactly once when the shared chain completes.
+    let trace = generate_trace(1337, 900);
+    for s in Structure::ALL {
+        if let Err(f) = replay_concurrent(s, 5, 3, &trace) {
+            panic!("barrier reproducer regressed: {f}");
+        }
     }
 }
 

@@ -101,3 +101,28 @@ fn repeated_runs_are_reproducible() {
     assert_eq!(format!("{rows_a:?}"), format!("{rows_b:?}"));
     assert_eq!(snap_a, snap_b);
 }
+
+/// Same contract for the closed-loop serving sweep: the `dam-serve` engine
+/// runs whole multi-client schedules per point (capture devices, shard
+/// pagers, the PDAM step scheduler), so this is the determinism contract
+/// for the entire serving stack, not just the sweep engine.
+#[test]
+fn serve_sweep_parallel_matches_serial_rows_and_metrics() {
+    let _guard = GUARD.lock().unwrap();
+    let scale = Scale {
+        ops: 20,
+        ..Scale::smoke()
+    };
+    let (serial_rows, serial_snap) = run_with_metrics(1, || experiments::serve_sweep(&scale));
+    let jobs = parallel_jobs();
+    let (par_rows, par_snap) = run_with_metrics(jobs, || experiments::serve_sweep(&scale));
+    assert_eq!(
+        format!("{serial_rows:?}"),
+        format!("{par_rows:?}"),
+        "serve_sweep rows diverged at jobs={jobs}"
+    );
+    assert_eq!(
+        serial_snap, par_snap,
+        "serve_sweep merged metrics snapshot diverged at jobs={jobs}"
+    );
+}
